@@ -1,0 +1,46 @@
+// Figure 2: per-request comparison between early binding (GrandSLAM-style
+// fixed sizing [41]) and late binding (runtime resource adaptation) on the
+// IA workflow: end-to-end latency (left panel) and CPU consumption
+// normalized by the exhaustive-search Optimal (right panel).
+//
+// Paper reference: late binding cuts CPU consumption by up to 42.2% while
+// staying under the SLO.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace janus;
+
+int main() {
+  std::printf("%s", banner("Fig 2: early binding vs late binding (IA)").c_str());
+
+  const WorkloadSpec ia = make_ia();
+  const Seconds slo = ia.slo(1);
+  const auto profiles = bench::profile(ia, 1);
+  auto suite = bench::make_suite(ia, profiles, slo, 1,
+                                 /*with_janus_plus=*/false);
+
+  const RunConfig config = bench::run_config(slo, 1, 50);
+  const RunResult early = run_workload(ia, *suite.grandslam, config);
+  const RunResult late = run_workload(ia, *suite.janus, config);
+  const RunResult optimal = run_workload(ia, *suite.optimal, config);
+
+  std::printf("req  E2E-early  E2E-late   CPU-early  CPU-late   (normalized by Optimal)\n");
+  double worst_saving = 0.0, total_saving = 0.0;
+  for (std::size_t i = 0; i < early.requests.size(); ++i) {
+    const double opt = optimal.requests[i].cpu_mc;
+    const double ce = early.requests[i].cpu_mc / opt;
+    const double cl = late.requests[i].cpu_mc / opt;
+    worst_saving = std::max(worst_saving, 1.0 - cl / ce);
+    total_saving += 1.0 - cl / ce;
+    std::printf("%3zu  %8.3fs  %8.3fs  %8.3f   %8.3f\n", i,
+                early.requests[i].e2e, late.requests[i].e2e, ce, cl);
+  }
+  std::printf("\nSLO %.1fs  | early P99 %.3fs  late P99 %.3fs\n", slo,
+              early.e2e_percentile(99), late.e2e_percentile(99));
+  std::printf("CPU saving of late binding: mean %.1f%%, max %.1f%%  "
+              "(paper: up to 42.2%%)\n",
+              100.0 * total_saving / static_cast<double>(early.requests.size()),
+              100.0 * worst_saving);
+  return 0;
+}

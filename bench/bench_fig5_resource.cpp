@@ -1,0 +1,59 @@
+// Figure 5: (a) CPU consumption (millicores) of IA and VA at concurrency 1
+// for every system; (b) CPU normalized by Optimal for IA at concurrency 2
+// and 3 (SLOs 4 s / 5 s).
+//
+// Paper reference: early binders over-allocate by up to 1.75x at higher
+// concurrency because batching inflates runtime variability (QA's P99/P50
+// grows from 2.17 to 2.32), which early binding must absorb statically.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace janus;
+
+namespace {
+
+void run_panel(const WorkloadSpec& workload, Concurrency c, Seconds slo,
+               bool normalized) {
+  std::printf("%s", banner("Fig 5: " + workload.name + " conc=" +
+                           std::to_string(c) + " SLO=" + fmt(slo, 1) + "s")
+                        .c_str());
+  const auto profiles = bench::profile(workload, c);
+  auto suite = bench::make_suite(workload, profiles, slo, c);
+  const RunConfig config = bench::run_config(slo, c, 800);
+
+  double optimal_cpu = 0.0;
+  std::vector<std::vector<std::string>> rows;
+  for (SizingPolicy* policy : suite.all()) {
+    const double cpu = run_workload(workload, *policy, config).mean_cpu();
+    if (policy->name() == "Optimal") optimal_cpu = cpu;
+    if (normalized) {
+      rows.push_back({policy->name(), fmt(cpu / optimal_cpu, 3)});
+    } else {
+      rows.push_back({policy->name(), fmt(cpu, 1),
+                      fmt(cpu / optimal_cpu, 3)});
+    }
+  }
+  if (normalized) {
+    std::printf("%s", render_table({"policy", "CPU (normalized)"}, rows).c_str());
+  } else {
+    std::printf("%s",
+                render_table({"policy", "CPU (mc)", "normalized"}, rows).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const WorkloadSpec ia = make_ia();
+  const WorkloadSpec va = make_va();
+  // (a) concurrency 1, raw millicores.
+  run_panel(ia, 1, ia.slo(1), /*normalized=*/false);
+  run_panel(va, 1, va.slo(1), /*normalized=*/false);
+  // (b) IA at concurrency 2 and 3, normalized by Optimal.
+  run_panel(ia, 2, ia.slo(2), /*normalized=*/true);
+  run_panel(ia, 3, ia.slo(3), /*normalized=*/true);
+  std::printf("\npaper: early binding over-allocates up to 1.75x at higher "
+              "concurrency; Janus tracks Optimal via runtime adaptation\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: the SLO-risk metrics of §III-B, measured on TS (the paper's
+// example; other functions behave alike).
+//   (a) timeout D(p,k) vs provisioned millicores at P25 / P50 / P75 —
+//       decreasing in both the percentile and the size;
+//   (b) resilience R(p,k) vs millicores at concurrency 1 / 2 / 3 —
+//       decreasing in size (diminishing returns) and increasing with
+//       concurrency (more computing load, more sensitivity to resources).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "hints/metrics.hpp"
+
+using namespace janus;
+
+int main() {
+  std::printf("%s", banner("Fig 7: timeout and resilience of TS").c_str());
+
+  const WorkloadSpec ia = make_ia();
+  ProfilerConfig config = default_profiler_config(ia);
+  config.grid.concurrencies = {1, 2, 3};
+  const LatencyProfile ts = profile_function(ia.chain_models()[2], config);
+
+  std::printf("(a) timeout D(p,k) = L(P99,k) - L(p,k), concurrency 1:\n");
+  std::vector<std::vector<std::string>> rows;
+  for (Millicores k = 1000; k <= 3000; k += 200) {
+    rows.push_back({std::to_string(k),
+                    fmt(timeout_metric(ts, 25, k, 1), 3),
+                    fmt(timeout_metric(ts, 50, k, 1), 3),
+                    fmt(timeout_metric(ts, 75, k, 1), 3)});
+  }
+  std::printf("%s", render_table({"millicores", "Perc.=25 (s)", "Perc.=50 (s)",
+                                  "Perc.=75 (s)"},
+                                 rows)
+                        .c_str());
+
+  std::printf("\n(b) resilience R(p,k) = L(p,k) - L(p,Kmax), at P99:\n");
+  rows.clear();
+  for (Millicores k = 1000; k <= 3000; k += 200) {
+    rows.push_back({std::to_string(k),
+                    fmt(resilience_metric(ts, 99, k, 1, 3000), 3),
+                    fmt(resilience_metric(ts, 99, k, 2, 3000), 3),
+                    fmt(resilience_metric(ts, 99, k, 3, 3000), 3)});
+  }
+  std::printf("%s", render_table({"millicores", "Conc.=1 (s)", "Conc.=2 (s)",
+                                  "Conc.=3 (s)"},
+                                 rows)
+                        .c_str());
+  std::printf("\npaper: timeout decreases with percentile and cores; "
+              "resilience shrinks with cores (non-parallelizable ops) and "
+              "grows with concurrency\n");
+  return 0;
+}

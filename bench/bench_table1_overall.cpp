@@ -1,0 +1,66 @@
+// Table I: overall resource reduction by Janus versus each baseline when
+// serving IA (SLO 3 s) and VA (SLO 1.5 s) at concurrency 1, over 1000
+// requests, normalized by the clairvoyant Optimal.
+//
+// Paper reference rows:
+//            ORION  GrandSLAM+  GrandSLAM  Janus-  Janus+
+//   IA (%)    22.6     31.3        31.3      2.9     0
+//   VA (%)    26.9     35.2        32.4      4.7    -0.2
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+
+using namespace janus;
+
+namespace {
+
+std::map<std::string, double> measure(const WorkloadSpec& workload,
+                                      Seconds slo) {
+  const auto profiles = bench::profile(workload, 1);
+  auto suite = bench::make_suite(workload, profiles, slo, 1);
+  const RunConfig config = bench::run_config(slo, 1, 1000);
+  std::map<std::string, double> cpu;
+  for (SizingPolicy* policy : suite.all()) {
+    cpu[policy->name()] = run_workload(workload, *policy, config).mean_cpu();
+  }
+  return cpu;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              banner("Table I: resource reduction by Janus vs baselines").c_str());
+
+  const std::vector<std::string> baselines{"ORION", "GrandSLAM+", "GrandSLAM",
+                                           "Janus-", "Janus+"};
+  std::vector<std::string> header{"workload"};
+  for (const auto& b : baselines) header.push_back(b + " (%)");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [workload, slo] :
+       std::vector<std::pair<WorkloadSpec, Seconds>>{{make_ia(), 3.0},
+                                                     {make_va(), 1.5}}) {
+    const auto cpu = measure(workload, slo);
+    const double optimal = cpu.at("Optimal");
+    const double janus_cpu = cpu.at("Janus");
+    std::vector<std::string> row{workload.name};
+    for (const auto& b : baselines) {
+      // Reduction of Janus relative to the baseline, both normalized by
+      // Optimal: (baseline - Janus) / baseline.
+      const double reduction =
+          100.0 * (cpu.at(b) - janus_cpu) / cpu.at(b);
+      row.push_back(fmt(reduction, 1));
+    }
+    rows.push_back(std::move(row));
+    std::printf("%s raw CPU (mc): Optimal %.1f | Janus %.1f | Janus- %.1f | "
+                "Janus+ %.1f | ORION %.1f | GrandSLAM+ %.1f | GrandSLAM %.1f\n",
+                workload.name.c_str(), optimal, janus_cpu, cpu.at("Janus-"),
+                cpu.at("Janus+"), cpu.at("ORION"), cpu.at("GrandSLAM+"),
+                cpu.at("GrandSLAM"));
+  }
+  std::printf("\n%s", render_table(header, rows).c_str());
+  std::printf("\npaper: IA 22.6/31.3/31.3/2.9/0; VA 26.9/35.2/32.4/4.7/-0.2\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared setup for the bench binaries: standard profiling/synthesis
+// configurations matching §V-A's setup (grid 1000..3000 step 100,
+// percentiles P1..P99, budget grid 1 ms-class) and a policy-suite builder
+// covering every system compared in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "model/workloads.hpp"
+#include "policy/early_binding.hpp"
+#include "policy/janus_policy.hpp"
+#include "policy/optimal.hpp"
+#include "policy/orion.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus::bench {
+
+/// Paper-grade profiling for one concurrency level.
+inline std::vector<LatencyProfile> profile(const WorkloadSpec& workload,
+                                           Concurrency c,
+                                           int samples = 3000) {
+  ProfilerConfig config = default_profiler_config(workload);
+  config.grid.concurrencies = {c};
+  config.samples_per_point = samples;
+  return profile_workload(workload, config);
+}
+
+/// Synthesis configuration at a concurrency level.  Janus/Janus− use the
+/// 1 ms budget grid; Janus+ gets a coarser sweep (its per-budget search is
+/// ~two orders of magnitude heavier, which is exactly the Fig 6b story).
+inline SynthesisConfig synth_config(Concurrency c, double weight = 1.0,
+                                    BudgetMs budget_step = 1) {
+  SynthesisConfig config;
+  config.concurrency = c;
+  config.weight = weight;
+  config.budget_step = budget_step;
+  return config;
+}
+
+/// The full §V policy suite for one workload/SLO/concurrency.
+struct PolicySuite {
+  std::unique_ptr<OptimalPolicy> optimal;
+  std::unique_ptr<JanusPolicy> janus;
+  std::unique_ptr<JanusPolicy> janus_minus;
+  std::unique_ptr<JanusPolicy> janus_plus;  // may be null (see make_suite)
+  std::unique_ptr<FixedSizingPolicy> orion;
+  std::unique_ptr<FixedSizingPolicy> grandslam;
+  std::unique_ptr<FixedSizingPolicy> grandslam_plus;
+
+  std::vector<SizingPolicy*> all() const {
+    std::vector<SizingPolicy*> out{optimal.get(),   janus.get(),
+                                   janus_minus.get()};
+    if (janus_plus) out.push_back(janus_plus.get());
+    out.push_back(orion.get());
+    out.push_back(grandslam_plus.get());
+    out.push_back(grandslam.get());
+    return out;
+  }
+};
+
+inline PolicySuite make_suite(const WorkloadSpec& workload,
+                              const std::vector<LatencyProfile>& profiles,
+                              Seconds slo, Concurrency c,
+                              bool with_janus_plus = true) {
+  PolicySuite suite;
+  OptimalInputs opt;
+  opt.models = workload.chain_models();
+  opt.slo = slo;
+  opt.concurrency = c;
+  suite.optimal = make_optimal(opt);
+
+  suite.janus = make_janus(profiles, synth_config(c), slo);
+  suite.janus_minus =
+      make_janus(profiles, synth_config(c), slo, Exploration::FixedP99);
+  if (with_janus_plus) {
+    // Budget step 5 ms keeps the quadratic (p,k) x (p,k) sweep tractable
+    // without the coarse-grid conservatism a wider step would introduce.
+    suite.janus_plus = make_janus(profiles, synth_config(c, 1.0, 5), slo,
+                                  Exploration::HeadAndNext);
+  }
+
+  EarlyBindingInputs eb;
+  eb.profiles = &profiles;
+  eb.slo = slo;
+  eb.concurrency = c;
+  suite.orion = make_orion(eb);
+  suite.grandslam = make_grandslam(eb);
+  suite.grandslam_plus = make_grandslam_plus(eb);
+  return suite;
+}
+
+inline RunConfig run_config(Seconds slo, Concurrency c, int requests = 1000) {
+  RunConfig config;
+  config.slo = slo;
+  config.concurrency = c;
+  config.requests = requests;
+  return config;
+}
+
+}  // namespace janus::bench

@@ -1,0 +1,95 @@
+// Quickstart: the full Janus pipeline on the Intelligent Assistant workflow.
+//
+//   1. profile the workflow's functions (developer side, offline),
+//   2. synthesize + condense the hints table,
+//   3. hand the hints to the provider-side adapter,
+//   4. serve requests with runtime resource adaptation,
+//   5. compare against early binding and the clairvoyant optimum.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "model/workloads.hpp"
+#include "policy/early_binding.hpp"
+#include "policy/janus_policy.hpp"
+#include "policy/optimal.hpp"
+#include "policy/orion.hpp"
+#include "profiler/profiler.hpp"
+
+using namespace janus;
+
+int main() {
+  // --- 1. Developer side: profile the workflow. -------------------------
+  const WorkloadSpec ia = make_ia();
+  ProfilerConfig prof_config = default_profiler_config(ia);
+  prof_config.samples_per_point = 2000;
+  const std::vector<LatencyProfile> profiles = profile_workload(ia, prof_config);
+
+  std::printf("Profiled %zu functions of %s across %zu sizes\n",
+              profiles.size(), ia.name.c_str(),
+              prof_config.grid.cores().size());
+  for (const auto& p : profiles) {
+    std::printf("  %-3s  L(P50,1000mc)=%.3fs  L(P99,1000mc)=%.3fs  "
+                "L(P99,3000mc)=%.3fs\n",
+                p.function_name().c_str(), p.latency(50, 1000, 1),
+                p.latency(99, 1000, 1), p.latency(99, 3000, 1));
+  }
+
+  // --- 2+3. Synthesize hints and build the Janus policy. ----------------
+  const Seconds slo = ia.slo(1);
+  SynthesisConfig synth;
+  synth.concurrency = 1;
+  auto janus_policy = make_janus(profiles, synth, slo);
+  const auto& stats = janus_policy->adapter().bundle().stats;
+  std::printf("\nHints: %zu raw -> %zu condensed (%.1f%% compression), "
+              "synthesized in %.2fs\n",
+              stats.raw_hints, stats.condensed_hints,
+              100.0 * (1.0 - static_cast<double>(stats.condensed_hints) /
+                                 static_cast<double>(stats.raw_hints)),
+              stats.elapsed_s);
+
+  // --- Baselines. --------------------------------------------------------
+  EarlyBindingInputs eb;
+  eb.profiles = &profiles;
+  eb.slo = slo;
+  auto grandslam = make_grandslam(eb);
+  auto orion = make_orion(eb);
+  OptimalInputs opt;
+  opt.models = ia.chain_models();
+  opt.slo = slo;
+  auto optimal = make_optimal(opt);
+
+  // --- 4+5. Serve 500 requests under each policy. -----------------------
+  RunConfig run;
+  run.slo = slo;
+  run.requests = 500;
+
+  std::vector<std::vector<std::string>> rows;
+  double optimal_cpu = 0.0;
+  for (SizingPolicy* policy :
+       {static_cast<SizingPolicy*>(optimal.get()),
+        static_cast<SizingPolicy*>(janus_policy.get()),
+        static_cast<SizingPolicy*>(orion.get()),
+        static_cast<SizingPolicy*>(grandslam.get())}) {
+    const RunResult result = run_workload(ia, *policy, run);
+    if (policy == optimal.get()) optimal_cpu = result.mean_cpu();
+    rows.push_back({policy->name(), fmt(result.mean_cpu(), 1),
+                    fmt(result.mean_cpu() / optimal_cpu, 3),
+                    fmt(result.e2e_percentile(99), 3),
+                    fmt(100.0 * result.violation_rate(), 2) + "%"});
+  }
+  std::printf("\n%s\n",
+              render_table({"policy", "CPU (mc)", "norm", "P99 E2E (s)",
+                            "violations"},
+                           rows)
+                  .c_str());
+  std::printf("SLO: %.1fs; adapter hit/miss: %llu/%llu\n", slo,
+              static_cast<unsigned long long>(
+                  janus_policy->adapter().stats().hits +
+                  janus_policy->adapter().stats().clamped),
+              static_cast<unsigned long long>(
+                  janus_policy->adapter().stats().misses));
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "adapter/adapter.hpp"
+
+#include <cmath>
+
+namespace janus {
+
+Adapter::Adapter(HintsBundle bundle, AdapterConfig config)
+    : bundle_(std::move(bundle)), config_(config) {
+  require(!bundle_.suffix_tables.empty(), "adapter needs >= 1 suffix table");
+  require(config_.kmax > 0, "kmax must be > 0");
+  require(config_.miss_rate_threshold > 0.0 &&
+              config_.miss_rate_threshold <= 1.0,
+          "miss threshold outside (0,1]");
+}
+
+HintsTable::Lookup Adapter::peek(std::size_t stage,
+                                 Seconds remaining_budget) const {
+  require(stage < bundle_.suffix_tables.size(), "stage out of range");
+  // Floor: reporting less budget than truly available is the safe side.
+  const auto budget =
+      static_cast<BudgetMs>(std::floor(remaining_budget * 1000.0));
+  return bundle_.suffix_tables[stage].lookup(budget);
+}
+
+Millicores Adapter::size_for_stage(std::size_t stage,
+                                   Seconds remaining_budget) {
+  const auto result = peek(stage, remaining_budget);
+  switch (result.kind) {
+    case HintsTable::LookupKind::Hit:
+      ++stats_.hits;
+      return result.size;
+    case HintsTable::LookupKind::ClampedHigh:
+      ++stats_.clamped;
+      return result.size;
+    case HintsTable::LookupKind::Miss:
+      break;
+  }
+  ++stats_.misses;
+  if (regeneration_suggested() && feedback_ && !feedback_sent_) {
+    feedback_sent_ = true;
+    feedback_(stats_.miss_rate());
+  }
+  // "The adapter will scale functions up to the maximum available
+  // resources, to prevent SLO violations."
+  return config_.kmax;
+}
+
+bool Adapter::regeneration_suggested() const noexcept {
+  return stats_.lookups() >= config_.min_observations &&
+         stats_.miss_rate() > config_.miss_rate_threshold;
+}
+
+void Adapter::install_bundle(HintsBundle bundle) {
+  require(bundle.suffix_tables.size() == bundle_.suffix_tables.size(),
+          "regenerated bundle has different shape");
+  bundle_ = std::move(bundle);
+  reset_stats();
+}
+
+std::size_t Adapter::memory_bytes() const noexcept {
+  return sizeof(*this) + bundle_.memory_bytes();
+}
+
+}  // namespace janus

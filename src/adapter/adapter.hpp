@@ -1,0 +1,82 @@
+// The provider-side adapter (§III-D).
+//
+// When a function finishes, the platform reports elapsed time; the adapter
+// derives the remaining budget, searches the condensed hints table of the
+// remaining sub-workflow, and returns the next head's size.  A miss
+// (unexpected runtime dynamics pushed the budget below anything profiled)
+// falls back to Kmax "to prevent SLO violations".  The adapter supervises
+// the hit/miss ratio; when the miss rate crosses the configured threshold
+// it flags the developer to re-trigger profiling + synthesis (done
+// asynchronously in the paper; modeled here as a feedback callback).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "hints/generator.hpp"
+
+namespace janus {
+
+struct AdapterConfig {
+  /// Fallback size on a table miss.
+  Millicores kmax = kDefaultKmax;
+  /// Miss-rate threshold triggering regeneration feedback (default 1%).
+  double miss_rate_threshold = 0.01;
+  /// Minimum lookups before the threshold is evaluated (avoids noisy
+  /// triggers on the first few requests).
+  std::size_t min_observations = 100;
+};
+
+struct AdapterStats {
+  std::uint64_t hits = 0;
+  std::uint64_t clamped = 0;  // budget above table range (still safe)
+  std::uint64_t misses = 0;
+
+  std::uint64_t lookups() const noexcept { return hits + clamped + misses; }
+  double miss_rate() const noexcept {
+    const auto n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(n);
+  }
+};
+
+class Adapter {
+ public:
+  explicit Adapter(HintsBundle bundle, AdapterConfig config = {});
+
+  std::size_t stages() const noexcept { return bundle_.suffix_tables.size(); }
+
+  /// Size for stage `stage` (0-based position in the chain) given the
+  /// remaining time budget.  Records hit/miss statistics and, on crossing
+  /// the miss threshold, fires the feedback callback once per crossing.
+  Millicores size_for_stage(std::size_t stage, Seconds remaining_budget);
+
+  /// Lookup without statistics side effects (diagnostics / tests).
+  HintsTable::Lookup peek(std::size_t stage, Seconds remaining_budget) const;
+
+  const AdapterStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; feedback_sent_ = false; }
+
+  bool regeneration_suggested() const noexcept;
+
+  /// Developer feedback hook: invoked with the observed miss rate when the
+  /// threshold is crossed.
+  void set_feedback(std::function<void(double)> cb) { feedback_ = std::move(cb); }
+
+  /// Installs freshly regenerated hints (the asynchronous regeneration
+  /// path); statistics restart.
+  void install_bundle(HintsBundle bundle);
+
+  const HintsBundle& bundle() const noexcept { return bundle_; }
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  HintsBundle bundle_;
+  AdapterConfig config_;
+  AdapterStats stats_;
+  std::function<void(double)> feedback_;
+  bool feedback_sent_ = false;
+};
+
+}  // namespace janus

@@ -1,0 +1,192 @@
+#include "branching/level_workflow.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "sim/platform.hpp"
+#include "stats/distributions.hpp"
+
+namespace janus {
+
+LevelWorkload build_level_workload(const WorkloadSpec& workload,
+                                   const ProfilerConfig& config) {
+  LevelWorkload out;
+  out.spec = workload;
+
+  const auto& wf = out.spec.workflow;
+  const auto level_of = wf.levels();
+  const int max_level =
+      *std::max_element(level_of.begin(), level_of.end());
+  out.levels.assign(static_cast<std::size_t>(max_level) + 1, {});
+  for (FunctionId id : wf.topological_order()) {
+    out.levels[static_cast<std::size_t>(level_of[static_cast<std::size_t>(id)])]
+        .push_back(id);
+  }
+
+  // Per-function profiles, indexed by FunctionId.
+  out.function_profiles.resize(wf.size());
+  for (FunctionId id = 0; static_cast<std::size_t>(id) < wf.size(); ++id) {
+    out.function_profiles[static_cast<std::size_t>(id)] =
+        profile_function(out.spec.model_of(id), config);
+  }
+
+  // Level profiles: sample-wise (comonotonic) max over members.
+  for (const auto& members : out.levels) {
+    out.widths.push_back(static_cast<int>(members.size()));
+    std::string name = "level[";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) name += "|";
+      name += wf.function(members[i]).name;
+    }
+    name += "]";
+    LatencyProfile level(name, config.grid);
+    for (Concurrency c : config.grid.concurrencies) {
+      for (Millicores k : config.grid.cores()) {
+        std::vector<double> combined;
+        bool have_all = true;
+        for (FunctionId id : members) {
+          const auto& profile =
+              out.function_profiles[static_cast<std::size_t>(id)];
+          if (!profile.has_point(k, c)) {
+            have_all = false;
+            break;
+          }
+          const auto& samples = profile.samples(k, c);
+          if (combined.empty()) {
+            combined = samples;
+          } else {
+            require(samples.size() == combined.size(),
+                    "member sample counts differ");
+            // Both arrays are sorted: element-wise max of sorted samples is
+            // the comonotonic max distribution (conservative upper bound of
+            // the independent max).
+            for (std::size_t i = 0; i < combined.size(); ++i) {
+              combined[i] = std::max(combined[i], samples[i]);
+            }
+          }
+        }
+        if (have_all && !combined.empty()) {
+          level.set_samples(k, c, std::move(combined));
+        }
+      }
+    }
+    out.level_profiles.push_back(std::move(level));
+  }
+  return out;
+}
+
+SynthesisConfig level_synthesis_config(const LevelWorkload& workload,
+                                       Concurrency concurrency) {
+  SynthesisConfig config;
+  config.concurrency = concurrency;
+  config.stage_widths = workload.widths;
+  return config;
+}
+
+RunResult run_level_workload(const LevelWorkload& workload,
+                             SizingPolicy& policy, const RunConfig& config) {
+  require(config.slo > 0.0, "SLO must be > 0");
+  const auto& wf = workload.spec.workflow;
+
+  // Platform functions indexed by FunctionId.
+  std::vector<FunctionModel> functions;
+  for (FunctionId id = 0; static_cast<std::size_t>(id) < wf.size(); ++id) {
+    functions.push_back(workload.spec.model_of(id));
+  }
+
+  // Pre-draw per-function randomness (stage draws are per FunctionId here).
+  const CoLocationDistribution coloc =
+      config.colocation_is_default
+          ? CoLocationDistribution::for_concurrency(config.concurrency)
+          : config.colocation;
+  Rng rng = Rng(config.seed).split(0xb4a9cULL);
+  std::vector<RequestDraw> draws;
+  draws.reserve(static_cast<std::size_t>(config.requests));
+  for (int r = 0; r < config.requests; ++r) {
+    RequestDraw draw;
+    for (const auto& fn : functions) {
+      draw.ws.push_back(fn.sample_ws(config.concurrency, rng));
+      draw.interference.push_back(config.interference.sample_multiplier(
+          fn.dim(), coloc.sample(rng), rng));
+    }
+    draws.push_back(std::move(draw));
+  }
+
+  SimEngine engine;
+  PlatformConfig platform_config = config.platform;
+  platform_config.seed = config.seed ^ 0x51c6e1ULL;
+  Platform platform(engine, platform_config, functions, config.interference);
+
+  RunResult result;
+  result.policy_name = policy.name();
+  result.slo = config.slo;
+
+  for (const auto& draw : draws) {
+    RequestRecord record;
+    Seconds elapsed = 0.0;
+    policy.on_request_start(draw);
+    for (std::size_t level = 0; level < workload.levels.size(); ++level) {
+      const Millicores size = policy.size_for_stage(level, elapsed, draw);
+      Seconds slowest = 0.0;
+      for (FunctionId id : workload.levels[level]) {
+        platform.invoke(static_cast<int>(id), size, config.concurrency,
+                        draw.ws[static_cast<std::size_t>(id)],
+                        draw.interference[static_cast<std::size_t>(id)],
+                        [&slowest](const InvocationOutcome& o) {
+                          slowest = std::max(slowest, o.total());
+                        });
+        record.cpu_mc += static_cast<double>(size);
+      }
+      engine.run();  // join: the level ends with its slowest branch
+      elapsed += slowest;
+      record.sizes.push_back(size);
+      record.stage_total.push_back(slowest);
+    }
+    record.e2e = elapsed;
+    record.violated = elapsed > config.slo;
+    result.requests.push_back(std::move(record));
+  }
+  return result;
+}
+
+WorkloadSpec make_social_feed() {
+  WorkloadSpec spec;
+  spec.name = "SF";
+  auto model = [](const char* name, Seconds serial, Seconds work,
+                  double p99_over_p50, ResourceDim dim) {
+    FunctionModelParams p;
+    p.name = name;
+    p.serial_s = serial;
+    p.work_s = work;
+    p.ws_sigma = LogNormal::sigma_for_p99_over_p50(p99_over_p50);
+    p.dim = dim;
+    return FunctionModel(p);
+  };
+  spec.models = {
+      model("ingest", 0.04, 0.30, 1.6, ResourceDim::Io),        // 0
+      model("thumbnail", 0.05, 0.45, 1.9, ResourceDim::Cpu),    // 1
+      model("moderation", 0.06, 0.55, 2.1, ResourceDim::Cpu),   // 2
+      model("captioning", 0.05, 0.50, 2.0, ResourceDim::Memory),// 3
+      model("rank", 0.04, 0.35, 1.7, ResourceDim::Cpu),         // 4
+  };
+  Workflow wf("SF");
+  std::vector<FunctionId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(wf.add_function({spec.models[static_cast<std::size_t>(i)]
+                                       .name(),
+                                   i}));
+  }
+  wf.add_edge(ids[0], ids[1]);
+  wf.add_edge(ids[0], ids[2]);
+  wf.add_edge(ids[0], ids[3]);
+  wf.add_edge(ids[1], ids[4]);
+  wf.add_edge(ids[2], ids[4]);
+  wf.add_edge(ids[3], ids[4]);
+  spec.workflow = std::move(wf);
+  // Tight enough that the fan-out level must size above the Kmin floor.
+  spec.slo_by_concurrency = {2.2};
+  spec.max_concurrency = 1;
+  return spec;
+}
+
+}  // namespace janus

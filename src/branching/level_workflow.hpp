@@ -1,0 +1,64 @@
+// Fork-join workflow support — the paper's stated future work ("adding
+// support for more complex workflows").
+//
+// A DAG is collapsed into a *level chain*: functions at the same
+// topological level run in parallel, and the workflow is the sequence of
+// levels.  Janus's machinery then applies unchanged with two twists:
+//
+//  * each level's latency profile is the sample-wise maximum of its
+//    members' profiles (comonotonic max — conservative: it assumes branch
+//    latencies move together, which upper-bounds the independent case, so
+//    SLO guarantees carry over),
+//  * every member of a level shares the level's size, so a level of width
+//    w contributes w * k to resource cost (TailPlan/SynthesisConfig stage
+//    widths).
+//
+// The adapter's per-suffix tables become per-level tables; when a level
+// joins, the remaining budget is derived from the slowest branch.
+#pragma once
+
+#include <vector>
+
+#include "dag/workflow.hpp"
+#include "exp/runner.hpp"
+#include "hints/generator.hpp"
+#include "model/workloads.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus {
+
+/// A DAG workload collapsed to its level chain.
+struct LevelWorkload {
+  WorkloadSpec spec;
+  /// levels[l] = ids (into spec.workflow) of the functions at level l.
+  std::vector<std::vector<FunctionId>> levels;
+  /// Combined per-level profiles (comonotonic max of member profiles).
+  std::vector<LatencyProfile> level_profiles;
+  /// Per-function profiles in topological order of spec.workflow.
+  std::vector<LatencyProfile> function_profiles;
+  /// widths[l] == levels[l].size().
+  std::vector<int> widths;
+
+  std::size_t level_count() const noexcept { return levels.size(); }
+};
+
+/// Profiles every function of a DAG workload and builds level profiles.
+LevelWorkload build_level_workload(const WorkloadSpec& workload,
+                                   const ProfilerConfig& config);
+
+/// Synthesis config pre-filled with the level widths.
+SynthesisConfig level_synthesis_config(const LevelWorkload& workload,
+                                       Concurrency concurrency = 1);
+
+/// Serves requests over the level chain: all members of a level launch
+/// together with the level's size; the level completes when its slowest
+/// member does.  `policy` is consulted once per level (stage == level).
+RunResult run_level_workload(const LevelWorkload& workload,
+                             SizingPolicy& policy, const RunConfig& config);
+
+/// A realistic fork-join example workload: a social-feed pipeline
+///   ingest -> {thumbnail, moderation, captioning} -> rank
+/// with heterogeneous branch latencies.
+WorkloadSpec make_social_feed();
+
+}  // namespace janus

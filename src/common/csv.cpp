@@ -1,0 +1,124 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+std::size_t CsvDoc::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw_invalid("csv column not found: " + name);
+}
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+void encode_field(std::ostream& os, const std::string& field) {
+  if (!needs_quoting(field)) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void encode_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ',';
+    encode_field(os, row[i]);
+  }
+  os << '\n';
+}
+
+std::vector<std::string> parse_line(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> out;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++pos;
+      out.push_back(std::move(field));
+      return out;
+    } else if (c != '\r') {
+      field += c;
+    }
+    ++pos;
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+}  // namespace
+
+std::string csv_encode(const CsvDoc& doc) {
+  std::ostringstream os;
+  encode_row(os, doc.header);
+  for (const auto& row : doc.rows) {
+    if (row.size() != doc.header.size()) {
+      throw_invalid("csv row width differs from header");
+    }
+    encode_row(os, row);
+  }
+  return os.str();
+}
+
+CsvDoc csv_decode(const std::string& text) {
+  CsvDoc doc;
+  std::size_t pos = 0;
+  if (text.empty()) return doc;
+  doc.header = parse_line(text, pos);
+  while (pos < text.size()) {
+    auto row = parse_line(text, pos);
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
+    if (row.size() != doc.header.size()) {
+      throw_invalid("csv row width differs from header");
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+void csv_write_file(const std::string& path, const CsvDoc& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw_invalid("cannot open for write: " + path);
+  out << csv_encode(doc);
+}
+
+CsvDoc csv_read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_invalid("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return csv_decode(buf.str());
+}
+
+}  // namespace janus

@@ -1,0 +1,28 @@
+// Tiny CSV writer/reader used for hints-table and profile serialization
+// (the paper's prototype persisted these as pandas DataFrames).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace janus {
+
+/// A parsed CSV document: a header row plus data rows of equal width.
+struct CsvDoc {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws std::invalid_argument when missing.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Serializes rows; fields containing commas/quotes/newlines are quoted.
+std::string csv_encode(const CsvDoc& doc);
+
+/// Parses a CSV document produced by csv_encode (handles quoted fields).
+CsvDoc csv_decode(const std::string& text);
+
+void csv_write_file(const std::string& path, const CsvDoc& doc);
+CsvDoc csv_read_file(const std::string& path);
+
+}  // namespace janus

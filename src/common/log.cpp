@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace janus {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[janus %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace janus

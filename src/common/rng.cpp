@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace janus {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Rng Rng::split(std::uint64_t stream) const noexcept {
+  // Mix the child's stream id into the parent state through SplitMix64 so
+  // children with adjacent ids are decorrelated.
+  SplitMix64 sm(s_[0] ^ (0xa0761d6478bd642fULL * (stream + 1)));
+  Rng child(sm.next());
+  return child;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 strictly positive to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+}  // namespace janus

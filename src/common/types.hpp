@@ -1,0 +1,61 @@
+// Core value types shared across the Janus reproduction.
+//
+// The paper sizes functions in millicores (1000 mc = one CPU core) over the
+// range [1000, 3000] with a 100 mc step, profiles latency at percentiles
+// P1..P99 (step 5), and quantizes time budgets on a 1 ms grid.  These types
+// make those units explicit so they cannot be mixed up silently.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace janus {
+
+/// CPU allocation in millicores (1000 == one physical core).
+using Millicores = int;
+
+/// Latency percentile in [1, 99].  The paper's profiler never extrapolates
+/// outside P1..P99 ("latency numbers out of the P1-P99 range are not
+/// accounted for by Janus").
+using Percentile = int;
+
+/// Wall-clock durations inside the simulator, in seconds.
+using Seconds = double;
+
+/// Time budgets in the hints table are quantized to integral milliseconds
+/// ("the synthesizer explores the potential time budgets with finer
+/// granularity in milliseconds").
+using BudgetMs = std::int64_t;
+
+/// Batch size / concurrency level of a function instance.
+using Concurrency = int;
+
+/// Identifies a function within a workflow (index in topological order for
+/// chains).
+using FunctionId = int;
+
+inline constexpr Millicores kDefaultKmin = 1000;
+inline constexpr Millicores kDefaultKmax = 3000;
+inline constexpr Millicores kDefaultKstep = 100;
+
+inline constexpr Seconds ms_to_s(BudgetMs ms) noexcept {
+  return static_cast<Seconds>(ms) / 1000.0;
+}
+
+inline constexpr BudgetMs s_to_ms(Seconds s) noexcept {
+  return static_cast<BudgetMs>(s * 1000.0 + 0.5);
+}
+
+/// Throws std::invalid_argument with a uniform message prefix.  Used for
+/// public-API precondition checks (Core Guidelines I.5/I.6: state and check
+/// preconditions).
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw std::invalid_argument("janus: " + what);
+}
+
+inline void require(bool cond, const char* what) {
+  if (!cond) throw_invalid(what);
+}
+
+}  // namespace janus

@@ -1,0 +1,61 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t i = 0; i < header.size(); ++i) width[i] = header[i].size();
+  for (const auto& row : rows) {
+    require(row.size() == header.size(), "table row width mismatch");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(width[i]) + 2) << row[i];
+    }
+    os << "\n";
+  };
+  emit(header);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows) emit(row);
+  return os.str();
+}
+
+std::string render_series(const std::string& title,
+                          const std::vector<std::pair<double, double>>& xy,
+                          const std::string& xlabel,
+                          const std::string& ylabel) {
+  std::ostringstream os;
+  os << "# " << title << "\n";
+  os << "# " << xlabel << " " << ylabel << "\n";
+  for (const auto& [x, y] : xy) {
+    os << fmt(x, 4) << " " << fmt(y, 4) << "\n";
+  }
+  return os.str();
+}
+
+std::string banner(const std::string& text) {
+  std::ostringstream os;
+  os << "\n==== " << text << " ====\n";
+  return os.str();
+}
+
+}  // namespace janus

@@ -1,0 +1,29 @@
+// Plain-text reporting helpers shared by the bench binaries: aligned
+// tables (paper tables) and (x, y) series blocks (paper figures).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace janus {
+
+/// Formats `v` with `precision` decimal places.
+std::string fmt(double v, int precision = 3);
+
+/// Renders an aligned table; `rows` must all match the header width.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a figure-style series block:
+///   # <title>
+///   x y
+std::string render_series(const std::string& title,
+                          const std::vector<std::pair<double, double>>& xy,
+                          const std::string& xlabel = "x",
+                          const std::string& ylabel = "y");
+
+/// Section banner for bench stdout.
+std::string banner(const std::string& text);
+
+}  // namespace janus

@@ -1,0 +1,143 @@
+#include "exp/runner.hpp"
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace janus {
+
+EmpiricalDistribution RunResult::e2e_distribution() const {
+  std::vector<double> samples;
+  samples.reserve(requests.size());
+  for (const auto& r : requests) samples.push_back(r.e2e);
+  return EmpiricalDistribution(std::move(samples));
+}
+
+double RunResult::mean_cpu() const {
+  if (requests.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : requests) total += r.cpu_mc;
+  return total / static_cast<double>(requests.size());
+}
+
+double RunResult::violation_rate() const {
+  if (requests.empty()) return 0.0;
+  std::size_t v = 0;
+  for (const auto& r : requests) v += r.violated ? 1 : 0;
+  return static_cast<double>(v) / static_cast<double>(requests.size());
+}
+
+double RunResult::e2e_percentile(double p) const {
+  return e2e_distribution().percentile(p);
+}
+
+std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
+                                       const RunConfig& config) {
+  require(config.requests > 0, "run needs >= 1 request");
+  const auto models = workload.chain_models();
+  const CoLocationDistribution coloc =
+      config.colocation_is_default
+          ? CoLocationDistribution::for_concurrency(config.concurrency)
+          : config.colocation;
+  Rng rng = Rng(config.seed).split(0x5eedULL);
+  std::vector<RequestDraw> draws;
+  draws.reserve(static_cast<std::size_t>(config.requests));
+  for (int r = 0; r < config.requests; ++r) {
+    RequestDraw draw;
+    for (const auto& model : models) {
+      draw.ws.push_back(model.sample_ws(config.concurrency, rng));
+      const int n = coloc.sample(rng);
+      draw.interference.push_back(
+          config.interference.sample_multiplier(model.dim(), n, rng));
+    }
+    draws.push_back(std::move(draw));
+  }
+  return draws;
+}
+
+namespace {
+
+/// Per-request execution state machine driven by platform callbacks.
+struct InFlight {
+  const RequestDraw* draw = nullptr;
+  std::size_t stage = 0;
+  Seconds elapsed = 0.0;
+  RequestRecord record;
+};
+
+}  // namespace
+
+RunResult run_workload(const WorkloadSpec& workload, SizingPolicy& policy,
+                       const RunConfig& config) {
+  require(config.slo > 0.0, "SLO must be > 0");
+  const auto models = workload.chain_models();
+  const std::size_t stages = models.size();
+  const auto draws = draw_requests(workload, config);
+
+  SimEngine engine;
+  PlatformConfig platform_config = config.platform;
+  platform_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  Platform platform(engine, platform_config, models,
+                    config.interference);
+
+  RunResult result;
+  result.policy_name = policy.name();
+  result.slo = config.slo;
+  result.requests.reserve(draws.size());
+
+  // Shared launch logic: runs one stage and chains the next.
+  std::function<void(std::shared_ptr<InFlight>)> launch_stage =
+      [&](std::shared_ptr<InFlight> req) {
+        const Millicores size =
+            policy.size_for_stage(req->stage, req->elapsed, *req->draw);
+        std::optional<double> exo;
+        if (!config.endogenous_interference) {
+          exo = req->draw->interference[req->stage];
+        }
+        platform.invoke(
+            static_cast<int>(req->stage), size, config.concurrency,
+            req->draw->ws[req->stage], exo,
+            [&, req, size](const InvocationOutcome& outcome) {
+              req->elapsed += outcome.total();
+              req->record.cpu_mc += static_cast<double>(size);
+              req->record.sizes.push_back(size);
+              req->record.stage_total.push_back(outcome.total());
+              ++req->stage;
+              if (req->stage < stages) {
+                launch_stage(req);
+              } else {
+                req->record.e2e = req->elapsed;
+                req->record.violated = req->elapsed > config.slo;
+                result.requests.push_back(std::move(req->record));
+              }
+            });
+      };
+
+  if (config.open_loop_rate > 0.0) {
+    // Open loop: Poisson arrivals; requests overlap on the platform.
+    Rng arrivals = Rng(config.seed).split(0xa11aULL);
+    Seconds t = 0.0;
+    for (const auto& draw : draws) {
+      t += arrivals.exponential(config.open_loop_rate);
+      engine.schedule_at(t, [&, d = &draw] {
+        auto req = std::make_shared<InFlight>();
+        req->draw = d;
+        policy.on_request_start(*d);
+        launch_stage(req);
+      });
+    }
+    engine.run();
+  } else {
+    // Closed loop: one request at a time (the paper's 1000-request runs).
+    for (const auto& draw : draws) {
+      auto req = std::make_shared<InFlight>();
+      req->draw = &draw;
+      policy.on_request_start(draw);
+      launch_stage(req);
+      engine.run();
+    }
+  }
+  return result;
+}
+
+}  // namespace janus

@@ -1,0 +1,74 @@
+// Experiment driver: serves a request stream for one workload through the
+// DES platform under a sizing policy and aggregates the paper's metrics
+// (end-to-end latency distribution, per-request CPU consumption in
+// millicores, SLO violation rate).
+//
+// Randomness is pre-drawn per request (working sets, co-location counts,
+// interference multipliers) from the run seed, so every policy evaluated
+// with the same RunConfig serves the *identical* request sequence — the
+// normalized comparisons in Table I / Fig 5 / Fig 9 are therefore paired.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/workloads.hpp"
+#include "policy/policy.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/platform.hpp"
+#include "stats/empirical.hpp"
+
+namespace janus {
+
+struct RunConfig {
+  Seconds slo = 3.0;
+  Concurrency concurrency = 1;
+  int requests = 1000;
+  std::uint64_t seed = 2026;
+  /// Interference regime; must match what the profiles were built with for
+  /// the hints to stay accurate (shift it to inject "unexpected dynamics").
+  InterferenceModel interference{InterferenceModel(
+      workload_interference_params())};
+  /// Co-location distribution; default derives from `concurrency`.
+  CoLocationDistribution colocation{};
+  bool colocation_is_default = true;
+  /// Open-loop Poisson arrivals at this rate (requests/s); 0 = closed loop
+  /// (sequential requests, the paper's measurement setup).
+  double open_loop_rate = 0.0;
+  /// When true the platform derives interference from actual pod
+  /// co-location instead of the pre-drawn multipliers (clairvoyant Optimal
+  /// is not meaningful in this mode).
+  bool endogenous_interference = false;
+  PlatformConfig platform{};
+};
+
+struct RequestRecord {
+  Seconds e2e = 0.0;
+  double cpu_mc = 0.0;  // Σ of per-stage allocated millicores
+  bool violated = false;
+  std::vector<Millicores> sizes;
+  std::vector<Seconds> stage_total;
+};
+
+struct RunResult {
+  std::string policy_name;
+  Seconds slo = 0.0;
+  std::vector<RequestRecord> requests;
+
+  EmpiricalDistribution e2e_distribution() const;
+  double mean_cpu() const;
+  double violation_rate() const;
+  double e2e_percentile(double p) const;
+};
+
+RunResult run_workload(const WorkloadSpec& workload, SizingPolicy& policy,
+                       const RunConfig& config);
+
+/// Pre-draws the request randomness exactly as run_workload does — shared
+/// with benches that need the draws directly (e.g. Fig 2's per-request
+/// scatter, Optimal normalization).
+std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
+                                       const RunConfig& config);
+
+}  // namespace janus

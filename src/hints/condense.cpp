@@ -1,0 +1,54 @@
+#include "hints/condense.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+HintsTable condense_hints(const SuffixHints& raw) {
+  if (raw.hints.empty()) return HintsTable{};
+
+  // Algorithm 2 sorts by budget (the paper walks descending; ascending with
+  // run-length fusion is equivalent and keeps entries ready-ordered).
+  std::vector<const RawHint*> sorted;
+  sorted.reserve(raw.hints.size());
+  for (const auto& h : raw.hints) {
+    require(!h.sizes.empty(), "raw hint without sizes");
+    sorted.push_back(&h);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RawHint* a, const RawHint* b) {
+              return a->budget < b->budget;
+            });
+
+  std::vector<CondensedEntry> entries;
+  CondensedEntry current{sorted.front()->budget, sorted.front()->budget,
+                         sorted.front()->sizes.front()};
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const RawHint& h = *sorted[i];
+    const Millicores k1 = h.sizes.front();
+    if (k1 == current.size) {
+      current.end = h.budget;  // fuse (Insight-5)
+    } else {
+      // Close the run at the midpoint-free boundary: the new run starts at
+      // this hint's budget; budgets strictly between grid points belong to
+      // the lower run (conservative: they get the larger size, since head
+      // sizes shrink as budgets grow in the common case).
+      current.end = std::max(current.end, h.budget - 1);
+      entries.push_back(current);
+      current = {h.budget, h.budget, k1};
+    }
+  }
+  entries.push_back(current);
+  return HintsTable(std::move(entries));
+}
+
+double compression_ratio(std::size_t raw_rows, std::size_t condensed_rows) {
+  if (raw_rows == 0) return 0.0;
+  if (condensed_rows >= raw_rows) return 0.0;
+  return 1.0 -
+         static_cast<double>(condensed_rows) / static_cast<double>(raw_rows);
+}
+
+}  // namespace janus

@@ -1,0 +1,25 @@
+#include "hints/metrics.hpp"
+
+namespace janus {
+
+Seconds timeout_metric(const LatencyProfile& profile, Percentile p,
+                       Millicores k, Concurrency c) {
+  return profile.latency(99, k, c) - profile.latency(p, k, c);
+}
+
+Seconds resilience_metric(const LatencyProfile& profile, Percentile p,
+                          Millicores k, Concurrency c, Millicores kmax) {
+  return profile.latency(p, k, c) - profile.latency(p, kmax, c);
+}
+
+BudgetMs timeout_metric_ms(const LatencyProfile& profile, Percentile p,
+                           Millicores k, Concurrency c) {
+  return profile.latency_ms(99, k, c) - profile.latency_ms(p, k, c);
+}
+
+BudgetMs resilience_metric_ms(const LatencyProfile& profile, Percentile p,
+                              Millicores k, Concurrency c, Millicores kmax) {
+  return profile.latency_ms(p, k, c) - profile.latency_ms(p, kmax, c);
+}
+
+}  // namespace janus

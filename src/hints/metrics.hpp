@@ -1,0 +1,34 @@
+// Timeout and resilience metrics (§III-B).
+//
+// timeout   D(p,k) = L(99,k) - L(p,k)   — by how much an execution profiled
+//   at percentile p can overshoot (up to the P99 worst case) at size k.
+// resilience R(p,k) = L(p,k) - L(p,Kmax) — how much execution time can be
+//   recovered by scaling the function from k up to Kmax.
+//
+// Note on sign: the paper's Eq. (2) literally reads L(p,Kmax) - L(p,k),
+// which is non-positive since latency decreases with cores; the text and
+// Fig 7b make clear resilience is the *achievable reduction*, so we use the
+// positive orientation.  Any head-function timeout must fit within the
+// total downstream resilience (Eq. 6) for SLO compliance to stay possible.
+#pragma once
+
+#include "common/types.hpp"
+#include "profiler/profile.hpp"
+
+namespace janus {
+
+/// D(p,k) in seconds.
+Seconds timeout_metric(const LatencyProfile& profile, Percentile p,
+                       Millicores k, Concurrency c);
+
+/// R(p,k) in seconds, relative to `kmax`.
+Seconds resilience_metric(const LatencyProfile& profile, Percentile p,
+                          Millicores k, Concurrency c, Millicores kmax);
+
+/// Millisecond versions on the synthesizer's budget grid.
+BudgetMs timeout_metric_ms(const LatencyProfile& profile, Percentile p,
+                           Millicores k, Concurrency c);
+BudgetMs resilience_metric_ms(const LatencyProfile& profile, Percentile p,
+                              Millicores k, Concurrency c, Millicores kmax);
+
+}  // namespace janus

@@ -1,0 +1,78 @@
+#include "hints/table.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/types.hpp"
+
+namespace janus {
+
+HintsTable::HintsTable(std::vector<CondensedEntry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const CondensedEntry& a, const CondensedEntry& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    require(entries_[i].end >= entries_[i].start, "entry range inverted");
+    require(entries_[i].size > 0, "entry size must be > 0");
+    if (i > 0) {
+      require(entries_[i].start > entries_[i - 1].end,
+              "entries must not overlap");
+    }
+  }
+}
+
+HintsTable::Lookup HintsTable::lookup(BudgetMs budget) const noexcept {
+  if (entries_.empty()) return {LookupKind::Miss, 0};
+  if (budget > entries_.back().end) {
+    return {LookupKind::ClampedHigh, entries_.back().size};
+  }
+  // First entry whose end >= budget.
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), budget,
+      [](const CondensedEntry& e, BudgetMs b) { return e.end < b; });
+  if (it == entries_.end() || budget < it->start) {
+    return {LookupKind::Miss, 0};
+  }
+  return {LookupKind::Hit, it->size};
+}
+
+BudgetMs HintsTable::min_budget() const {
+  require(!entries_.empty(), "empty hints table");
+  return entries_.front().start;
+}
+
+BudgetMs HintsTable::max_budget() const {
+  require(!entries_.empty(), "empty hints table");
+  return entries_.back().end;
+}
+
+std::string HintsTable::to_csv() const {
+  CsvDoc doc;
+  doc.header = {"start", "end", "size"};
+  for (const auto& e : entries_) {
+    doc.rows.push_back({std::to_string(e.start), std::to_string(e.end),
+                        std::to_string(e.size)});
+  }
+  return csv_encode(doc);
+}
+
+HintsTable HintsTable::from_csv(const std::string& text) {
+  const CsvDoc doc = csv_decode(text);
+  std::vector<CondensedEntry> entries;
+  const std::size_t s = doc.column("start");
+  const std::size_t e = doc.column("end");
+  const std::size_t k = doc.column("size");
+  for (const auto& row : doc.rows) {
+    entries.push_back({std::stoll(row[s]), std::stoll(row[e]),
+                       std::stoi(row[k])});
+  }
+  return HintsTable(std::move(entries));
+}
+
+std::size_t HintsTable::memory_bytes() const noexcept {
+  return sizeof(*this) + entries_.capacity() * sizeof(CondensedEntry);
+}
+
+}  // namespace janus

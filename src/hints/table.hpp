@@ -1,0 +1,79 @@
+// Hints tables: the artifact the developer ships to the provider.
+//
+// A *raw* hint maps one time budget to a full allocation (plus the head
+// percentile the synthesizer chose).  The *condensed* table (Algorithm 2)
+// keeps only ⟨start, end, size⟩ ranges for the head function — Insight-5
+// fuses budgets sharing a head size, Insight-6 drops non-head fields.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+/// One row of the raw hints table H = {⟨t, {k1..kN}⟩} from Algorithm 1.
+struct RawHint {
+  BudgetMs budget = 0;
+  /// Provisioned millicores, head first.
+  std::vector<Millicores> sizes;
+  /// Percentile the synthesizer selected for the head function.
+  Percentile head_percentile = 99;
+  /// Expected resource consumption (Eq. 4) of this hint.
+  double expected_cost = 0.0;
+};
+
+/// Raw hints for one sub-workflow suffix, ascending by budget.  Budgets
+/// below `feasible_from` have no hint (no allocation can meet them).
+struct SuffixHints {
+  std::vector<RawHint> hints;
+  BudgetMs tmin = 0;          // explored range (Eq. 3)
+  BudgetMs tmax = 0;
+  BudgetMs feasible_from = 0; // first budget with a feasible allocation
+};
+
+/// Condensed entry: budgets in [start, end] resize the head to `size`.
+struct CondensedEntry {
+  BudgetMs start = 0;
+  BudgetMs end = 0;
+  Millicores size = 0;
+};
+
+class HintsTable {
+ public:
+  enum class LookupKind {
+    Hit,          // budget inside a condensed range
+    ClampedHigh,  // budget above Tend of the last range: more slack than
+                  // explored, the top entry's (cheapest) size is safe
+    Miss,         // budget below every range: unexpected dynamics
+  };
+  struct Lookup {
+    LookupKind kind = LookupKind::Miss;
+    Millicores size = 0;
+  };
+
+  HintsTable() = default;
+  /// Entries must be non-overlapping; they are sorted by start.
+  explicit HintsTable(std::vector<CondensedEntry> entries);
+
+  Lookup lookup(BudgetMs budget) const noexcept;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::vector<CondensedEntry>& entries() const noexcept { return entries_; }
+  BudgetMs min_budget() const;
+  BudgetMs max_budget() const;
+
+  /// CSV round-trip with the paper's three fields: start,end,size.
+  std::string to_csv() const;
+  static HintsTable from_csv(const std::string& text);
+
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<CondensedEntry> entries_;
+};
+
+}  // namespace janus

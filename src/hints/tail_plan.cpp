@@ -1,0 +1,132 @@
+#include "hints/tail_plan.hpp"
+
+#include <algorithm>
+
+#include "hints/metrics.hpp"
+
+namespace janus {
+
+TailPlan::TailPlan(std::vector<const LatencyProfile*> chain,
+                   Concurrency concurrency, Millicores kmin, Millicores kmax,
+                   Millicores kstep, BudgetMs horizon, std::vector<int> widths)
+    : chain_(std::move(chain)),
+      concurrency_(concurrency),
+      widths_(std::move(widths)),
+      kmin_(kmin),
+      kmax_(kmax),
+      kstep_(kstep),
+      horizon_(horizon) {
+  require(!chain_.empty(), "tail plan needs >= 1 function");
+  require(horizon_ >= 0, "horizon must be >= 0");
+  require(kmin_ > 0 && kmax_ >= kmin_ && kstep_ > 0, "bad millicore grid");
+  if (widths_.empty()) widths_.assign(chain_.size(), 1);
+  require(widths_.size() == chain_.size(), "widths size mismatch");
+  for (int w : widths_) require(w >= 1, "stage width must be >= 1");
+
+  const std::size_t n = chain_.size();
+  const auto width = static_cast<std::size_t>(horizon_) + 1;
+  cells_.assign(n, std::vector<Cell>(width, {kInfeasible, 0, 0}));
+  min_feasible_.assign(n, horizon_ + 1);
+
+  // Pre-extract per-function L(99, k) and R(99, k) on the grid.
+  std::vector<Millicores> ks;
+  for (Millicores k = kmin_; k <= kmax_; k += kstep_) ks.push_back(k);
+  std::vector<std::vector<BudgetMs>> lat(n), res(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (Millicores k : ks) {
+      lat[j].push_back(chain_[j]->latency_ms(99, k, concurrency_));
+      res[j].push_back(
+          resilience_metric_ms(*chain_[j], 99, k, concurrency_, kmax_));
+    }
+  }
+
+  // Backward induction.  Last function: smallest size that fits.
+  for (BudgetMs t = 0; t <= horizon_; ++t) {
+    Cell& c = cells_[n - 1][static_cast<std::size_t>(t)];
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      if (lat[n - 1][ki] <= t) {
+        c.cost = ks[ki] * widths_[n - 1];
+        c.resilience = static_cast<std::int32_t>(res[n - 1][ki]);
+        c.choice = ks[ki];
+        break;  // grid ascending: the first fitting size is the cheapest
+      }
+    }
+  }
+  for (std::size_t jj = n - 1; jj-- > 0;) {
+    const auto& next = cells_[jj + 1];
+    for (BudgetMs t = 0; t <= horizon_; ++t) {
+      Cell best{kInfeasible, 0, 0};
+      for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+        const BudgetMs rem = t - lat[jj][ki];
+        if (rem < 0) continue;
+        const Cell& tail = next[static_cast<std::size_t>(rem)];
+        if (tail.cost == kInfeasible) continue;
+        const std::int32_t cost = tail.cost + ks[ki] * widths_[jj];
+        const std::int32_t resilience =
+            tail.resilience + static_cast<std::int32_t>(res[jj][ki]);
+        // Minimize cost; among ties prefer the larger resilience (safer
+        // hint for the same price).
+        if (best.cost == kInfeasible || cost < best.cost ||
+            (cost == best.cost && resilience > best.resilience)) {
+          best = {cost, resilience, ks[ki]};
+        }
+      }
+      cells_[jj][static_cast<std::size_t>(t)] = best;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (BudgetMs t = 0; t <= horizon_; ++t) {
+      if (cells_[j][static_cast<std::size_t>(t)].cost != kInfeasible) {
+        min_feasible_[j] = t;
+        break;
+      }
+    }
+  }
+}
+
+BudgetMs TailPlan::clamp_budget(BudgetMs budget) const noexcept {
+  return std::min(budget, horizon_);
+}
+
+const TailPlan::Cell& TailPlan::cell(std::size_t j, BudgetMs budget) const {
+  require(j < chain_.size(), "suffix index out of range");
+  require(budget >= 0, "budget must be >= 0");
+  return cells_[j][static_cast<std::size_t>(clamp_budget(budget))];
+}
+
+bool TailPlan::feasible(std::size_t j, BudgetMs budget) const {
+  if (budget < 0) return false;
+  return cell(j, budget).cost != kInfeasible;
+}
+
+Millicores TailPlan::total_cost(std::size_t j, BudgetMs budget) const {
+  const Cell& c = cell(j, budget);
+  require(c.cost != kInfeasible, "infeasible suffix budget");
+  return c.cost;
+}
+
+BudgetMs TailPlan::resilience(std::size_t j, BudgetMs budget) const {
+  const Cell& c = cell(j, budget);
+  require(c.cost != kInfeasible, "infeasible suffix budget");
+  return c.resilience;
+}
+
+std::vector<Millicores> TailPlan::allocation(std::size_t j,
+                                             BudgetMs budget) const {
+  std::vector<Millicores> out;
+  BudgetMs t = clamp_budget(budget);
+  for (std::size_t i = j; i < chain_.size(); ++i) {
+    const Cell& c = cell(i, t);
+    require(c.cost != kInfeasible, "infeasible suffix budget");
+    out.push_back(c.choice);
+    t -= chain_[i]->latency_ms(99, c.choice, concurrency_);
+  }
+  return out;
+}
+
+BudgetMs TailPlan::min_feasible(std::size_t j) const {
+  require(j < chain_.size(), "suffix index out of range");
+  return min_feasible_[j];
+}
+
+}  // namespace janus

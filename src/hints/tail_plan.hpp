@@ -1,0 +1,72 @@
+// Suffix dynamic program over the budget grid.
+//
+// Algorithm 1's recursive generate(F \ f1, t', {P99}) minimizes the total
+// millicores of the non-head functions at a fixed P99.  Implemented
+// directly, that recursion re-solves identical subproblems for every
+// (budget, head-size, head-percentile) combination; tabulating it once per
+// suffix over the 1 ms budget grid makes the head-level sweep O(1) per
+// probe.  The DP also carries the total downstream resilience
+// Σ R_i(99, k_i*) of the minimal allocation, which Eq. (6) checks against
+// the head's timeout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "profiler/profile.hpp"
+
+namespace janus {
+
+class TailPlan {
+ public:
+  /// `chain` holds profiles in execution order; `horizon` bounds the budget
+  /// grid (budgets above it are clamped by callers).  `widths` gives the
+  /// number of parallel function instances each stage provisions (1 for a
+  /// plain chain; >1 for a fork-join level whose members share a size) —
+  /// stage j then contributes widths[j] * k to the cost.
+  TailPlan(std::vector<const LatencyProfile*> chain, Concurrency concurrency,
+           Millicores kmin, Millicores kmax, Millicores kstep,
+           BudgetMs horizon, std::vector<int> widths = {});
+
+  std::size_t chain_length() const noexcept { return chain_.size(); }
+  BudgetMs horizon() const noexcept { return horizon_; }
+
+  /// True when functions j..N-1 can finish within `budget` at P99.
+  bool feasible(std::size_t j, BudgetMs budget) const;
+
+  /// Minimal total millicores for suffix j within `budget` (P99 for every
+  /// function).  Throws when infeasible.
+  Millicores total_cost(std::size_t j, BudgetMs budget) const;
+
+  /// Total resilience Σ R_i(99, k_i*) of the minimal allocation, in ms.
+  BudgetMs resilience(std::size_t j, BudgetMs budget) const;
+
+  /// Reconstructs the minimal allocation (sizes for functions j..N-1).
+  std::vector<Millicores> allocation(std::size_t j, BudgetMs budget) const;
+
+  /// Smallest feasible budget for suffix j (ms).
+  BudgetMs min_feasible(std::size_t j) const;
+
+ private:
+  struct Cell {
+    std::int32_t cost;        // min total millicores; kInfeasible when none
+    std::int32_t resilience;  // ms
+    std::int32_t choice;      // millicores for function j
+  };
+  static constexpr std::int32_t kInfeasible = -1;
+
+  const Cell& cell(std::size_t j, BudgetMs budget) const;
+  BudgetMs clamp_budget(BudgetMs budget) const noexcept;
+
+  std::vector<const LatencyProfile*> chain_;
+  Concurrency concurrency_;
+  std::vector<int> widths_;
+  Millicores kmin_, kmax_, kstep_;
+  BudgetMs horizon_;
+  /// cells_[j][t], t in [0, horizon_].
+  std::vector<std::vector<Cell>> cells_;
+  std::vector<BudgetMs> min_feasible_;
+};
+
+}  // namespace janus

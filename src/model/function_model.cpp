@@ -1,0 +1,61 @@
+#include "model/function_model.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace janus {
+
+FunctionModel::FunctionModel(FunctionModelParams params)
+    : params_(std::move(params)) {
+  require(params_.serial_s >= 0.0, "serial time must be >= 0");
+  require(params_.work_s > 0.0, "work must be > 0");
+  require(params_.ws_sigma >= 0.0, "ws sigma must be >= 0");
+}
+
+Seconds FunctionModel::serial(Concurrency c) const {
+  require(c >= 1, "concurrency must be >= 1");
+  return params_.serial_s *
+         (1.0 + params_.serial_batch_growth * static_cast<double>(c - 1));
+}
+
+Seconds FunctionModel::work(Concurrency c) const {
+  require(c >= 1, "concurrency must be >= 1");
+  return params_.work_s *
+         (1.0 + params_.work_batch_growth * static_cast<double>(c - 1));
+}
+
+double FunctionModel::ws_sigma(Concurrency c) const {
+  require(c >= 1, "concurrency must be >= 1");
+  return params_.ws_sigma *
+         (1.0 + params_.ws_sigma_batch_growth * static_cast<double>(c - 1));
+}
+
+double FunctionModel::sample_ws(Concurrency c, Rng& rng) const {
+  return std::exp(ws_sigma(c) * rng.normal());
+}
+
+double FunctionModel::ws_quantile(Concurrency c, double q) const {
+  const double sigma = ws_sigma(c);
+  if (sigma == 0.0) return 1.0;
+  return std::exp(sigma * inverse_normal_cdf(q));
+}
+
+Seconds FunctionModel::exec_time(Millicores k, Concurrency c, double ws_factor,
+                                 double interference) const {
+  require(k > 0, "millicores must be > 0");
+  require(ws_factor > 0.0, "working-set factor must be > 0");
+  require(interference >= 1.0, "interference multiplier must be >= 1");
+  const double cores = static_cast<double>(k) / 1000.0;
+  return (serial(c) + work(c) * ws_factor / cores) * interference;
+}
+
+Seconds FunctionModel::sample_exec_time(Millicores k, Concurrency c,
+                                        const InterferenceModel& interf,
+                                        int colocated, Rng& rng) const {
+  const double ws = sample_ws(c, rng);
+  const double mult = interf.sample_multiplier(params_.dim, colocated, rng);
+  return exec_time(k, c, ws, mult);
+}
+
+}  // namespace janus

@@ -1,0 +1,81 @@
+// Generative latency model for one serverless function.
+//
+// Execution time of an invocation with `k` millicores, batch size `c`,
+// working-set factor X, and interference multiplier I:
+//
+//   t(k, c, X, I) = ( serial(c) + work(c) * X / cores(k) ) * I
+//
+// where cores(k) = k / 1000, serial(c) and work(c) grow affinely with the
+// batch size, X is lognormal (median 1) with a sigma calibrated to the
+// paper's published P99/P50 dispersion, and I comes from the interference
+// model.  The serial term produces diminishing returns from extra cores —
+// exactly the behaviour behind Fig 7b's flattening resilience ("attributed
+// to non-parallelizable operations within functions") — and the work term's
+// batch growth makes resilience rise with concurrency.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "model/interference.hpp"
+
+namespace janus {
+
+struct FunctionModelParams {
+  std::string name;
+  /// Non-parallelizable time at batch size 1, seconds.
+  Seconds serial_s = 0.05;
+  /// Parallelizable work at batch size 1 and one full core, seconds.
+  Seconds work_s = 0.40;
+  /// Lognormal sigma of the working-set factor X at batch size 1.
+  double ws_sigma = 0.30;
+  /// Relative growth of ws_sigma per extra batched request, calibrated so
+  /// QA's P99/P50 grows from 2.17 to 2.32 when batching from 1 to 2 (§V-B):
+  /// ln(2.32)/ln(2.17) - 1 ≈ 0.087.
+  double ws_sigma_batch_growth = 0.087;
+  /// Relative growth of serial/work per extra batched request.
+  double serial_batch_growth = 0.20;
+  double work_batch_growth = 0.35;
+  /// Dominant contended resource (drives interference).
+  ResourceDim dim = ResourceDim::Cpu;
+  /// True when the function can process batched inputs (FE and ICO in the
+  /// VA workflow cannot: "concurrency of VA is limited to one").
+  bool batchable = true;
+};
+
+class FunctionModel {
+ public:
+  FunctionModel() = default;
+  explicit FunctionModel(FunctionModelParams params);
+
+  const std::string& name() const noexcept { return params_.name; }
+  const FunctionModelParams& params() const noexcept { return params_; }
+  ResourceDim dim() const noexcept { return params_.dim; }
+  bool batchable() const noexcept { return params_.batchable; }
+
+  Seconds serial(Concurrency c) const;
+  Seconds work(Concurrency c) const;
+  double ws_sigma(Concurrency c) const;
+
+  /// Draws a working-set factor for one invocation.
+  double sample_ws(Concurrency c, Rng& rng) const;
+
+  /// Working-set factor at quantile q in (0,1) — analytic counterpart used
+  /// by the clairvoyant Optimal oracle and by tests.
+  double ws_quantile(Concurrency c, double q) const;
+
+  /// Deterministic latency for known factors.
+  Seconds exec_time(Millicores k, Concurrency c, double ws_factor,
+                    double interference) const;
+
+  /// Full random draw: samples X and (through `interf` and `coloc`) I.
+  Seconds sample_exec_time(Millicores k, Concurrency c,
+                           const InterferenceModel& interf, int colocated,
+                           Rng& rng) const;
+
+ private:
+  FunctionModelParams params_;
+};
+
+}  // namespace janus

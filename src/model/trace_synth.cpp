@@ -1,0 +1,74 @@
+#include "model/trace_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hpp"
+#include "stats/distributions.hpp"
+
+namespace janus {
+
+std::vector<double> SyntheticTrace::all_slacks() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.slack);
+  return out;
+}
+
+std::vector<double> SyntheticTrace::popular_slacks() const {
+  std::vector<double> out;
+  for (const auto& s : samples) {
+    if (s.popular) out.push_back(s.slack);
+  }
+  return out;
+}
+
+double SyntheticTrace::popular_fraction() const {
+  if (samples.empty()) return 0.0;
+  std::size_t popular = 0;
+  for (const auto& s : samples) popular += s.popular ? 1 : 0;
+  return static_cast<double>(popular) / static_cast<double>(samples.size());
+}
+
+SyntheticTrace synthesize_trace(const TraceSynthConfig& config) {
+  require(config.num_functions > 0, "trace needs >= 1 function");
+  require(config.sigma_hi >= config.sigma_lo, "sigma range inverted");
+  Rng rng(config.seed);
+
+  // Per-function duration distributions.  Popularity rank doubles as the
+  // function id: rank 0 is the most popular.
+  struct FnDist {
+    double median;
+    double sigma;
+    double slo;  // P99 of the duration distribution
+  };
+  BoundedPareto median_dist(config.median_lo, config.median_hi,
+                            config.median_alpha);
+  std::vector<FnDist> fns;
+  fns.reserve(config.num_functions);
+  for (std::size_t i = 0; i < config.num_functions; ++i) {
+    FnDist fn;
+    fn.median = median_dist.sample(rng);
+    const double hi =
+        i < config.popular_count ? config.popular_sigma_hi : config.sigma_hi;
+    const double lo = std::min(config.sigma_lo, hi);
+    fn.sigma = rng.uniform(lo, hi);
+    fn.slo = LogNormal(fn.median, fn.sigma).quantile(0.99);
+    fns.push_back(fn);
+  }
+
+  Zipf popularity(config.num_functions, config.zipf_s);
+  SyntheticTrace trace;
+  trace.samples.reserve(config.num_invocations);
+  for (std::size_t i = 0; i < config.num_invocations; ++i) {
+    const std::size_t rank = popularity.sample(rng);
+    const FnDist& fn = fns[rank];
+    const double latency = LogNormal(fn.median, fn.sigma).sample(rng);
+    double slack = 1.0 - latency / fn.slo;
+    slack = std::clamp(slack, 0.0, 1.0);
+    trace.samples.push_back({slack, rank < config.popular_count});
+  }
+  return trace;
+}
+
+}  // namespace janus

@@ -1,0 +1,57 @@
+// Synthetic production-trace generator (substitute for the Azure Functions
+// 2019 dataset used in Fig 1a).
+//
+// The published analysis needs, per invocation, the end-to-end latency l and
+// the function's SLO T (set from its P99 latency, as in ORION/WISEFUSE), and
+// reports the CDF of slack = 1 - l/T, overall and for the 100 most popular
+// functions (81.6% of invocations).  We synthesize a function population
+// with Zipf popularity and heavy-tailed lognormal per-function duration
+// distributions, matching the trace's qualitative statistics: most
+// invocations are far faster than the P99 their sizing was chosen for.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace janus {
+
+struct TraceSynthConfig {
+  std::size_t num_functions = 2000;
+  std::size_t num_invocations = 200000;
+  /// Zipf popularity exponent across functions.
+  double zipf_s = 1.10;
+  /// Log-space sigma of each function's duration distribution is drawn
+  /// uniformly from this range; production traces show P50-P99 gaps up to
+  /// two orders of magnitude, i.e. sigma up to ~2.
+  double sigma_lo = 0.55;
+  double sigma_hi = 1.60;
+  /// Popular functions are better tuned in production; cap their sigma.
+  double popular_sigma_hi = 1.15;
+  std::size_t popular_count = 100;
+  /// Median duration range (seconds) sampled per function (bounded Pareto).
+  double median_lo = 0.005;
+  double median_hi = 10.0;
+  double median_alpha = 1.2;
+  std::uint64_t seed = 42;
+};
+
+struct SlackSample {
+  double slack;       // 1 - l / T, clamped to [0, 1]
+  bool popular;       // invocation of a top-`popular_count` function
+};
+
+struct SyntheticTrace {
+  std::vector<SlackSample> samples;
+
+  std::vector<double> all_slacks() const;
+  std::vector<double> popular_slacks() const;
+  /// Fraction of all invocations issued to popular functions (the paper
+  /// reports 81.6%).
+  double popular_fraction() const;
+};
+
+SyntheticTrace synthesize_trace(const TraceSynthConfig& config);
+
+}  // namespace janus

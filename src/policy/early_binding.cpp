@@ -1,0 +1,52 @@
+#include "policy/early_binding.hpp"
+
+#include "hints/tail_plan.hpp"
+
+namespace janus {
+
+void EarlyBindingInputs::validate() const {
+  require(profiles != nullptr && !profiles->empty(),
+          "early binding needs profiles");
+  require(slo > 0.0, "SLO must be > 0");
+  require(concurrency >= 1, "concurrency must be >= 1");
+  require(kmin > 0 && kmax >= kmin && kstep > 0, "bad millicore grid");
+}
+
+std::vector<Millicores> grandslam_sizes(const EarlyBindingInputs& in) {
+  in.validate();
+  const BudgetMs budget = s_to_ms(in.slo);
+  for (Millicores k = in.kmin; k <= in.kmax; k += in.kstep) {
+    BudgetMs total = 0;
+    for (const auto& profile : *in.profiles) {
+      total += profile.latency_ms(99, k, in.concurrency);
+    }
+    if (total <= budget) {
+      return std::vector<Millicores>(in.profiles->size(), k);
+    }
+  }
+  throw_invalid("GrandSLAM: no identical size meets the SLO (SLO too tight)");
+}
+
+std::vector<Millicores> grandslam_plus_sizes(const EarlyBindingInputs& in) {
+  in.validate();
+  std::vector<const LatencyProfile*> chain;
+  for (const auto& p : *in.profiles) chain.push_back(&p);
+  const BudgetMs budget = s_to_ms(in.slo);
+  const TailPlan plan(chain, in.concurrency, in.kmin, in.kmax, in.kstep,
+                      budget);
+  require(plan.feasible(0, budget),
+          "GrandSLAM+: no per-function sizing meets the SLO");
+  return plan.allocation(0, budget);
+}
+
+std::unique_ptr<FixedSizingPolicy> make_grandslam(const EarlyBindingInputs& in) {
+  return std::make_unique<FixedSizingPolicy>("GrandSLAM", grandslam_sizes(in));
+}
+
+std::unique_ptr<FixedSizingPolicy> make_grandslam_plus(
+    const EarlyBindingInputs& in) {
+  return std::make_unique<FixedSizingPolicy>("GrandSLAM+",
+                                             grandslam_plus_sizes(in));
+}
+
+}  // namespace janus

@@ -1,0 +1,41 @@
+// Early-binding baselines: GrandSLAM and GrandSLAM+ (§V-A).
+//
+// GrandSLAM provisions every function of the workflow with the *same* size
+// (its published design fixes identical sizes per stage) — the smallest
+// grid size whose per-function P99 latencies sum within the SLO.
+// GrandSLAM+ removes the identical-size constraint: it minimizes total
+// millicores subject to Σ L_i(99, k_i) ≤ SLO (the same suffix DP the Janus
+// synthesizer uses for tails).  Both overshoot because summing per-function
+// P99s is far more conservative than the P99 of the sum.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "profiler/profile.hpp"
+
+namespace janus {
+
+struct EarlyBindingInputs {
+  const std::vector<LatencyProfile>* profiles = nullptr;  // chain order
+  Seconds slo = 0.0;
+  Concurrency concurrency = 1;
+  Millicores kmin = kDefaultKmin;
+  Millicores kmax = kDefaultKmax;
+  Millicores kstep = kDefaultKstep;
+
+  void validate() const;
+};
+
+/// Identical-size allocation; throws when no grid size meets the SLO.
+std::vector<Millicores> grandslam_sizes(const EarlyBindingInputs& in);
+
+/// Per-function minimal allocation at P99; throws when infeasible.
+std::vector<Millicores> grandslam_plus_sizes(const EarlyBindingInputs& in);
+
+std::unique_ptr<FixedSizingPolicy> make_grandslam(const EarlyBindingInputs& in);
+std::unique_ptr<FixedSizingPolicy> make_grandslam_plus(
+    const EarlyBindingInputs& in);
+
+}  // namespace janus

@@ -1,0 +1,49 @@
+#include "policy/janus_policy.hpp"
+
+namespace janus {
+
+JanusPolicy::JanusPolicy(std::string name, Adapter adapter, Seconds slo,
+                         Seconds safety_margin)
+    : name_(std::move(name)),
+      adapter_(std::move(adapter)),
+      slo_(slo),
+      safety_margin_(safety_margin) {
+  require(slo_ > 0.0, "SLO must be > 0");
+  require(safety_margin_ >= 0.0, "safety margin must be >= 0");
+}
+
+Millicores JanusPolicy::size_for_stage(std::size_t stage, Seconds elapsed,
+                                       const RequestDraw& /*draw*/) {
+  // "When a function finishes, the platform collects the execution time
+  // and derives the time budget for the rest of the workflow."  A small
+  // per-remaining-stage margin covers startup + adaptation overheads the
+  // offline profiles do not include.
+  const auto remaining_stages =
+      static_cast<double>(adapter_.stages() - stage);
+  const Seconds remaining =
+      slo_ - elapsed - safety_margin_ * remaining_stages;
+  return adapter_.size_for_stage(stage, remaining);
+}
+
+std::string janus_variant_name(Exploration exploration) {
+  switch (exploration) {
+    case Exploration::FixedP99: return "Janus-";
+    case Exploration::HeadOnly: return "Janus";
+    case Exploration::HeadAndNext: return "Janus+";
+  }
+  return "Janus?";
+}
+
+std::unique_ptr<JanusPolicy> make_janus(
+    const std::vector<LatencyProfile>& profiles, SynthesisConfig config,
+    Seconds slo, Exploration exploration, AdapterConfig adapter_config) {
+  config.exploration = exploration;
+  adapter_config.kmax = config.kmax;
+  HintsBundle bundle = synthesize_bundle(profiles, config);
+  return std::make_unique<JanusPolicy>(janus_variant_name(exploration),
+                                       Adapter(std::move(bundle),
+                                               adapter_config),
+                                       slo);
+}
+
+}  // namespace janus

@@ -1,0 +1,51 @@
+// Janus as a sizing policy: the adapter driven by SLO-minus-elapsed budgets.
+//
+// Variants map to the paper's §V-A ablations:
+//   Janus−  — FixedP99 exploration (no percentile diversity for heads)
+//   Janus   — HeadOnly (the proposed moderate exploration)
+//   Janus+  — HeadAndNext (wider exploration, ~100x synthesis cost)
+#pragma once
+
+#include <memory>
+
+#include "adapter/adapter.hpp"
+#include "policy/policy.hpp"
+
+namespace janus {
+
+class JanusPolicy final : public SizingPolicy {
+ public:
+  /// `safety_margin` is held back from the remaining budget per not-yet-
+  /// finished stage, covering platform overheads (pod specialization,
+  /// adaptation latency) the offline profiles never see.
+  JanusPolicy(std::string name, Adapter adapter, Seconds slo,
+              Seconds safety_margin = 0.012);
+
+  const std::string& name() const noexcept override { return name_; }
+  Millicores size_for_stage(std::size_t stage, Seconds elapsed,
+                            const RequestDraw& draw) override;
+  bool late_binding() const noexcept override { return true; }
+
+  Adapter& adapter() noexcept { return adapter_; }
+  const Adapter& adapter() const noexcept { return adapter_; }
+  Seconds slo() const noexcept { return slo_; }
+
+ private:
+  std::string name_;
+  Adapter adapter_;
+  Seconds slo_;
+  Seconds safety_margin_;
+};
+
+/// Builds a Janus policy by synthesizing hints from profiles.  `config`
+/// supplies grid/weight/concurrency; its exploration field is overridden by
+/// `exploration`, and the display name is derived from the variant.
+std::unique_ptr<JanusPolicy> make_janus(
+    const std::vector<LatencyProfile>& profiles, SynthesisConfig config,
+    Seconds slo, Exploration exploration = Exploration::HeadOnly,
+    AdapterConfig adapter_config = {});
+
+/// Variant display name ("Janus", "Janus-", "Janus+").
+std::string janus_variant_name(Exploration exploration);
+
+}  // namespace janus

@@ -1,0 +1,44 @@
+#include "policy/mean_based.hpp"
+
+namespace janus {
+
+MeanBasedPolicy::MeanBasedPolicy(const std::vector<LatencyProfile>& profiles,
+                                 Seconds slo, Concurrency concurrency,
+                                 Millicores kmin, Millicores kmax,
+                                 Millicores kstep)
+    : profiles_(profiles), slo_(slo), concurrency_(concurrency) {
+  require(!profiles.empty(), "mean-based policy needs profiles");
+  require(slo > 0.0, "SLO must be > 0");
+  for (Millicores k = kmin; k <= kmax; k += kstep) cores_.push_back(k);
+}
+
+Seconds MeanBasedPolicy::mean_latency(std::size_t j, std::size_t ki) const {
+  return profiles_[j].latency(50, cores_[ki], concurrency_);
+}
+
+Millicores MeanBasedPolicy::size_for_stage(std::size_t stage, Seconds elapsed,
+                                           const RequestDraw& /*draw*/) {
+  require(stage < profiles_.size(), "stage out of range");
+  const Seconds remaining = slo_ - elapsed;
+  // Smallest size such that this stage's mean plus the downstream means at
+  // the same size fit the remaining budget — the proportional-slack rule
+  // Kraken/Xanadu-class systems apply per stage.
+  for (std::size_t ki = 0; ki < cores_.size(); ++ki) {
+    Seconds total = 0.0;
+    for (std::size_t j = stage; j < profiles_.size(); ++j) {
+      total += mean_latency(j, ki);
+    }
+    if (total <= remaining) return cores_[ki];
+  }
+  return cores_.back();  // even Kmax means overrun: allocate everything
+}
+
+std::unique_ptr<MeanBasedPolicy> make_mean_based(
+    const std::vector<LatencyProfile>& profiles, Seconds slo,
+    Concurrency concurrency, Millicores kmin, Millicores kmax,
+    Millicores kstep) {
+  return std::make_unique<MeanBasedPolicy>(profiles, slo, concurrency, kmin,
+                                           kmax, kstep);
+}
+
+}  // namespace janus

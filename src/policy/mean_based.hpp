@@ -1,0 +1,49 @@
+// Mean-based late binding — the Kraken / Xanadu / Fifer family the paper
+// *excludes* as baselines (§V-A): those systems "assume that function
+// execution time does not have large variance, and hence adopt mean
+// execution time to perform runtime resource adaptation", which under the
+// skewed distributions of production traces "are easily prone to under
+// provisioning and severe SLO violations".
+//
+// We implement the family's common core so the claim can be demonstrated
+// quantitatively (see bench_ablation): at each stage the policy picks the
+// smallest size whose *mean* remaining latency fits the remaining budget.
+#pragma once
+
+#include <memory>
+
+#include "policy/policy.hpp"
+#include "profiler/profile.hpp"
+
+namespace janus {
+
+class MeanBasedPolicy final : public SizingPolicy {
+ public:
+  /// `profiles` in chain order; the policy keeps a reference (caller owns).
+  MeanBasedPolicy(const std::vector<LatencyProfile>& profiles, Seconds slo,
+                  Concurrency concurrency, Millicores kmin, Millicores kmax,
+                  Millicores kstep);
+
+  const std::string& name() const noexcept override { return name_; }
+  Millicores size_for_stage(std::size_t stage, Seconds elapsed,
+                            const RequestDraw& draw) override;
+  bool late_binding() const noexcept override { return true; }
+
+ private:
+  /// Mean latency of stage `j` at size index `ki` (P50 stands in for the
+  /// mean these systems estimate from sliding-window telemetry).
+  Seconds mean_latency(std::size_t j, std::size_t ki) const;
+
+  std::string name_ = "MeanAdapt";
+  const std::vector<LatencyProfile>& profiles_;
+  Seconds slo_;
+  Concurrency concurrency_;
+  std::vector<Millicores> cores_;
+};
+
+std::unique_ptr<MeanBasedPolicy> make_mean_based(
+    const std::vector<LatencyProfile>& profiles, Seconds slo,
+    Concurrency concurrency = 1, Millicores kmin = kDefaultKmin,
+    Millicores kmax = kDefaultKmax, Millicores kstep = kDefaultKstep);
+
+}  // namespace janus

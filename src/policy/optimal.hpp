@@ -1,0 +1,56 @@
+// The clairvoyant Optimal oracle (§V-A: "the best that can be achieved in
+// any late-binding solution", obtained by exhaustive search in the paper).
+//
+// Optimal sees the request's actual working-set factors and interference
+// multipliers and solves, per request,
+//
+//     min Σ k_i   s.t.   Σ t_i(k_i) ≤ SLO,   Kmin ≤ k_i ≤ Kmax, k_i ∈ R
+//
+// where t_i(k) = A_i + B_i / k exactly matches the generative latency
+// model.  With that hyperbolic form the Lagrangian optimum is water-filling
+// (k_i ∝ √B_i), clipped to the box constraints by active-set iteration —
+// the continuous-k relaxation the paper's Eq. (8) permits.
+#pragma once
+
+#include <memory>
+
+#include "model/function_model.hpp"
+#include "policy/policy.hpp"
+
+namespace janus {
+
+struct OptimalInputs {
+  std::vector<FunctionModel> models;  // chain order
+  Seconds slo = 0.0;
+  Concurrency concurrency = 1;
+  Millicores kmin = kDefaultKmin;
+  Millicores kmax = kDefaultKmax;
+  /// Per-stage platform overhead the oracle budgets for (warm-start cost).
+  Seconds overhead_per_stage = 0.005;
+};
+
+/// Continuous water-filling allocation for one request.  When even all-Kmax
+/// cannot meet the SLO the oracle returns all-Kmax (the violation is
+/// unavoidable).
+std::vector<double> optimal_allocation(const OptimalInputs& in,
+                                       const RequestDraw& draw);
+
+class OptimalPolicy final : public SizingPolicy {
+ public:
+  explicit OptimalPolicy(OptimalInputs inputs);
+
+  const std::string& name() const noexcept override { return name_; }
+  /// Stateless per call (safe under interleaved open-loop requests): the
+  /// allocation is recomputed from the request's own draw.
+  Millicores size_for_stage(std::size_t stage, Seconds elapsed,
+                            const RequestDraw& draw) override;
+  bool late_binding() const noexcept override { return true; }
+
+ private:
+  std::string name_ = "Optimal";
+  OptimalInputs inputs_;
+};
+
+std::unique_ptr<OptimalPolicy> make_optimal(OptimalInputs inputs);
+
+}  // namespace janus

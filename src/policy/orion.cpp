@@ -1,0 +1,101 @@
+#include "policy/orion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/quantile.hpp"
+
+namespace janus {
+
+namespace {
+
+/// Draws per-function sample indices once; candidate allocations are then
+/// compared under common random numbers, which removes Monte-Carlo noise
+/// from the greedy descent's accept/reject decisions.
+struct ConvolutionContext {
+  std::vector<std::vector<std::size_t>> indices;  // [stage][draw]
+
+  ConvolutionContext(const EarlyBindingInputs& in, const OrionConfig& config) {
+    bin_ms = config.latency_bin_ms;
+    Rng rng(config.seed);
+    indices.resize(in.profiles->size());
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      // Sample count varies per grid point; store uniform u and scale later.
+      indices[s].resize(static_cast<std::size_t>(config.convolution_samples));
+      for (auto& idx : indices[s]) {
+        idx = static_cast<std::size_t>(rng.next());
+      }
+    }
+  }
+
+  Seconds e2e_p99(const EarlyBindingInputs& in,
+                  const std::vector<Millicores>& sizes) const {
+    const auto n = indices.front().size();
+    const double bin = static_cast<double>(bin_ms) / 1000.0;
+    std::vector<double> totals(n, 0.0);
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      const auto& samples =
+          (*in.profiles)[s].samples(sizes[s], in.concurrency);
+      for (std::size_t i = 0; i < n; ++i) {
+        double v = samples[indices[s][i] % samples.size()];
+        if (bin > 0.0) v = std::ceil(v / bin) * bin;  // histogram sketch
+        totals[i] += v;
+      }
+    }
+    std::sort(totals.begin(), totals.end());
+    return percentile_sorted(totals, 99.0);
+  }
+
+  BudgetMs bin_ms = 0;
+};
+
+}  // namespace
+
+Seconds orion_e2e_p99(const EarlyBindingInputs& in,
+                      const std::vector<Millicores>& sizes,
+                      const OrionConfig& config) {
+  in.validate();
+  require(sizes.size() == in.profiles->size(), "sizes/profile count mismatch");
+  return ConvolutionContext(in, config).e2e_p99(in, sizes);
+}
+
+std::vector<Millicores> orion_sizes(const EarlyBindingInputs& in,
+                                    const OrionConfig& config) {
+  in.validate();
+  const ConvolutionContext ctx(in, config);
+  const std::size_t n = in.profiles->size();
+
+  std::vector<Millicores> sizes(n, in.kmax);
+  require(ctx.e2e_p99(in, sizes) <= in.slo,
+          "ORION: SLO infeasible even at Kmax");
+
+  // Balanced greedy descent: each round evaluates shrinking every stage by
+  // one grid step and commits the single shrink that leaves the most SLO
+  // headroom.  This avoids the local minima of per-stage exhaustion (fully
+  // draining one stage first starves the others of headroom).
+  for (;;) {
+    std::size_t best_stage = n;
+    Seconds best_p99 = in.slo + 1.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (sizes[s] - in.kstep < in.kmin) continue;
+      sizes[s] -= in.kstep;
+      const Seconds p99 = ctx.e2e_p99(in, sizes);
+      sizes[s] += in.kstep;
+      if (p99 <= in.slo && p99 < best_p99) {
+        best_p99 = p99;
+        best_stage = s;
+      }
+    }
+    if (best_stage == n) break;
+    sizes[best_stage] -= in.kstep;
+  }
+  return sizes;
+}
+
+std::unique_ptr<FixedSizingPolicy> make_orion(const EarlyBindingInputs& in,
+                                              const OrionConfig& config) {
+  return std::make_unique<FixedSizingPolicy>("ORION", orion_sizes(in, config));
+}
+
+}  // namespace janus

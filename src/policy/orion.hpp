@@ -1,0 +1,45 @@
+// ORION-style early binding (§V-A, baseline from OSDI'22).
+//
+// ORION's key advance over per-function-P99 sizing is *distribution-based*
+// end-to-end modeling: instead of requiring Σ_i P99(L_i) ≤ SLO, it convolves
+// the per-function latency distributions and requires P99(Σ_i L_i) ≤ SLO —
+// a much less conservative constraint, since worst cases rarely align.
+// We reproduce that with a Monte-Carlo convolution over the profiler's
+// retained samples (common random indices across candidate sizings), then
+// greedily shrink sizes from the GrandSLAM+ allocation while the end-to-end
+// P99 stays within the SLO.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "policy/early_binding.hpp"
+
+namespace janus {
+
+struct OrionConfig {
+  /// Monte-Carlo draws for the convolution estimate.
+  int convolution_samples = 4000;
+  /// Latency discretization for the convolution, matching ORION's
+  /// histogram-based distribution representation: per-stage samples are
+  /// rounded *up* to this bin width, a conservative sketch (the published
+  /// system convolves coarse latency distributions rather than raw
+  /// samples, and over-estimates rather than under-estimates tails).
+  BudgetMs latency_bin_ms = 100;
+  std::uint64_t seed = 17;
+};
+
+/// ORION allocation; throws when even all-Kmax misses the SLO.
+std::vector<Millicores> orion_sizes(const EarlyBindingInputs& in,
+                                    const OrionConfig& config = {});
+
+/// Estimates the end-to-end P99 for a candidate allocation by sampling the
+/// per-function profile distributions independently and summing.
+Seconds orion_e2e_p99(const EarlyBindingInputs& in,
+                      const std::vector<Millicores>& sizes,
+                      const OrionConfig& config = {});
+
+std::unique_ptr<FixedSizingPolicy> make_orion(const EarlyBindingInputs& in,
+                                              const OrionConfig& config = {});
+
+}  // namespace janus

@@ -1,0 +1,19 @@
+#include "policy/policy.hpp"
+
+namespace janus {
+
+FixedSizingPolicy::FixedSizingPolicy(std::string name,
+                                     std::vector<Millicores> sizes)
+    : name_(std::move(name)), sizes_(std::move(sizes)) {
+  require(!sizes_.empty(), "fixed policy needs >= 1 size");
+  for (Millicores k : sizes_) require(k > 0, "sizes must be > 0");
+}
+
+Millicores FixedSizingPolicy::size_for_stage(std::size_t stage,
+                                             Seconds /*elapsed*/,
+                                             const RequestDraw& /*draw*/) {
+  require(stage < sizes_.size(), "stage out of range");
+  return sizes_[stage];
+}
+
+}  // namespace janus

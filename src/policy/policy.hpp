@@ -1,0 +1,61 @@
+// Sizing policies: the pluggable decision logic compared in §V.
+//
+// A policy is consulted once per stage, right before the stage launches,
+// with the wall-clock time elapsed since the request entered the workflow.
+// Early-binding policies return sizes fixed at deployment; late-binding
+// policies (Janus variants, Optimal) use the elapsed time — and, for the
+// clairvoyant oracle, the request's pre-drawn randomness — to adapt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+/// Pre-drawn randomness of one request, one entry per chain stage.  The
+/// experiment driver owns these draws so that (a) every policy serves the
+/// identical request sequence and (b) the Optimal oracle can be clairvoyant
+/// about them, mirroring the paper's "optimal obtained with exhaustive
+/// search" over recorded executions.
+struct RequestDraw {
+  std::vector<double> ws;            // working-set factors
+  std::vector<double> interference;  // multipliers (>= 1)
+};
+
+class SizingPolicy {
+ public:
+  virtual ~SizingPolicy() = default;
+
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Called once when a request is admitted (before stage 0).
+  virtual void on_request_start(const RequestDraw& draw) { (void)draw; }
+
+  /// Millicores for `stage`, with `elapsed` seconds spent so far (0 for
+  /// stage 0).
+  virtual Millicores size_for_stage(std::size_t stage, Seconds elapsed,
+                                    const RequestDraw& draw) = 0;
+
+  /// Late-binding policies adapt at runtime; early binding does not.
+  virtual bool late_binding() const noexcept { return false; }
+};
+
+/// Early binding: one immutable size per stage.
+class FixedSizingPolicy final : public SizingPolicy {
+ public:
+  FixedSizingPolicy(std::string name, std::vector<Millicores> sizes);
+
+  const std::string& name() const noexcept override { return name_; }
+  Millicores size_for_stage(std::size_t stage, Seconds elapsed,
+                            const RequestDraw& draw) override;
+  const std::vector<Millicores>& sizes() const noexcept { return sizes_; }
+
+ private:
+  std::string name_;
+  std::vector<Millicores> sizes_;
+};
+
+}  // namespace janus

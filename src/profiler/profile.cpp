@@ -1,0 +1,168 @@
+#include "profiler/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "stats/quantile.hpp"
+
+namespace janus {
+
+std::vector<Millicores> ProfileGrid::cores() const {
+  validate();
+  std::vector<Millicores> out;
+  for (Millicores k = kmin; k <= kmax; k += kstep) out.push_back(k);
+  return out;
+}
+
+void ProfileGrid::validate() const {
+  require(kmin > 0, "kmin must be > 0");
+  require(kmax >= kmin, "kmax must be >= kmin");
+  require(kstep > 0, "kstep must be > 0");
+  require((kmax - kmin) % kstep == 0, "grid must land exactly on kmax");
+  require(!concurrencies.empty(), "grid needs >= 1 concurrency");
+  for (Concurrency c : concurrencies) {
+    require(c >= 1, "concurrency must be >= 1");
+  }
+}
+
+std::vector<Percentile> default_percentiles() {
+  std::vector<Percentile> out;
+  for (Percentile p = 1; p <= 96; p += 5) out.push_back(p);
+  out.push_back(99);
+  return out;
+}
+
+LatencyProfile::LatencyProfile(std::string function_name, ProfileGrid grid)
+    : name_(std::move(function_name)), grid_(std::move(grid)) {
+  grid_.validate();
+  const std::size_t points =
+      grid_.cores().size() * grid_.concurrencies.size();
+  percentiles_.resize(points);
+  samples_.resize(points);
+}
+
+std::size_t LatencyProfile::index_of(Millicores k, Concurrency c) const {
+  require(k >= grid_.kmin && k <= grid_.kmax && (k - grid_.kmin) % grid_.kstep == 0,
+          "millicores not on the profiling grid");
+  const auto it = std::find(grid_.concurrencies.begin(),
+                            grid_.concurrencies.end(), c);
+  require(it != grid_.concurrencies.end(),
+          "concurrency not on the profiling grid");
+  const std::size_t ci =
+      static_cast<std::size_t>(it - grid_.concurrencies.begin());
+  const std::size_t ki = static_cast<std::size_t>((k - grid_.kmin) / grid_.kstep);
+  return ci * grid_.cores().size() + ki;
+}
+
+void LatencyProfile::set_samples(Millicores k, Concurrency c,
+                                 std::vector<double> samples) {
+  require(!samples.empty(), "empty sample set");
+  const std::size_t idx = index_of(k, c);
+  std::sort(samples.begin(), samples.end());
+  auto& table = percentiles_[idx];
+  table.resize(99);
+  for (Percentile p = 1; p <= 99; ++p) {
+    table[static_cast<std::size_t>(p - 1)] =
+        percentile_sorted(samples, static_cast<double>(p));
+  }
+  samples_[idx] = std::move(samples);
+}
+
+Seconds LatencyProfile::latency(Percentile p, Millicores k, Concurrency c) const {
+  require(p >= 1 && p <= 99, "percentile outside [1,99]");
+  const std::size_t idx = index_of(k, c);
+  require(!percentiles_[idx].empty(), "grid point not profiled");
+  return percentiles_[idx][static_cast<std::size_t>(p - 1)];
+}
+
+BudgetMs LatencyProfile::latency_ms(Percentile p, Millicores k,
+                                    Concurrency c) const {
+  return static_cast<BudgetMs>(std::ceil(latency(p, k, c) * 1000.0));
+}
+
+const std::vector<double>& LatencyProfile::samples(Millicores k,
+                                                   Concurrency c) const {
+  const std::size_t idx = index_of(k, c);
+  require(!samples_[idx].empty(), "grid point not profiled");
+  return samples_[idx];
+}
+
+bool LatencyProfile::has_point(Millicores k, Concurrency c) const noexcept {
+  try {
+    return !percentiles_[index_of(k, c)].empty();
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+std::string LatencyProfile::to_csv() const {
+  CsvDoc doc;
+  doc.header = {"fn", "k", "c"};
+  for (Percentile p = 1; p <= 99; ++p) {
+    doc.header.push_back("p" + std::to_string(p));
+  }
+  for (Concurrency c : grid_.concurrencies) {
+    for (Millicores k : grid_.cores()) {
+      const std::size_t idx = index_of(k, c);
+      if (percentiles_[idx].empty()) continue;
+      std::vector<std::string> row{name_, std::to_string(k), std::to_string(c)};
+      for (double v : percentiles_[idx]) {
+        std::ostringstream os;
+        os.precision(9);
+        os << v;
+        row.push_back(os.str());
+      }
+      doc.rows.push_back(std::move(row));
+    }
+  }
+  return csv_encode(doc);
+}
+
+LatencyProfile LatencyProfile::from_csv(const std::string& text) {
+  const CsvDoc doc = csv_decode(text);
+  require(!doc.rows.empty(), "profile csv has no rows");
+  // Reconstruct the grid from the rows present.
+  std::vector<Millicores> ks;
+  std::vector<Concurrency> cs;
+  for (const auto& row : doc.rows) {
+    const Millicores k = std::stoi(row[doc.column("k")]);
+    const Concurrency c = std::stoi(row[doc.column("c")]);
+    if (std::find(ks.begin(), ks.end(), k) == ks.end()) ks.push_back(k);
+    if (std::find(cs.begin(), cs.end(), c) == cs.end()) cs.push_back(c);
+  }
+  std::sort(ks.begin(), ks.end());
+  std::sort(cs.begin(), cs.end());
+  ProfileGrid grid;
+  grid.kmin = ks.front();
+  grid.kmax = ks.back();
+  grid.kstep = ks.size() > 1 ? ks[1] - ks[0] : 100;
+  grid.concurrencies = cs;
+
+  LatencyProfile profile(doc.rows.front()[doc.column("fn")], grid);
+  for (const auto& row : doc.rows) {
+    const Millicores k = std::stoi(row[doc.column("k")]);
+    const Concurrency c = std::stoi(row[doc.column("c")]);
+    const std::size_t idx = profile.index_of(k, c);
+    auto& table = profile.percentiles_[idx];
+    table.resize(99);
+    for (Percentile p = 1; p <= 99; ++p) {
+      table[static_cast<std::size_t>(p - 1)] =
+          std::stod(row[doc.column("p" + std::to_string(p))]);
+    }
+    // Raw samples are not serialized; synthesize a minimal stand-in so
+    // samples() keeps working for distribution-aware baselines.
+    profile.samples_[idx] = table;
+  }
+  return profile;
+}
+
+std::size_t LatencyProfile::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& v : percentiles_) bytes += v.capacity() * sizeof(double);
+  for (const auto& v : samples_) bytes += v.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace janus

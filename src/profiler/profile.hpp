@@ -1,0 +1,73 @@
+// Latency profiles: the developer-side artifact the synthesizer consumes.
+//
+// A profile stores, per (millicore, concurrency) grid point, the function's
+// execution-time percentiles P1..P99.  The paper profiles CPU from 1000 to
+// 3000 millicores in steps of 100 and percentiles from 1% to 99% in steps
+// of 5 (always including P99, the non-head working percentile).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+/// The profiling grid (domain knowledge supplied by the developer).
+struct ProfileGrid {
+  Millicores kmin = kDefaultKmin;
+  Millicores kmax = kDefaultKmax;
+  Millicores kstep = kDefaultKstep;
+  std::vector<Concurrency> concurrencies{1};
+
+  std::vector<Millicores> cores() const;
+  void validate() const;
+};
+
+/// Percentiles explored for head functions: 1..96 step 5 plus 99 (§III-B).
+std::vector<Percentile> default_percentiles();
+
+class LatencyProfile {
+ public:
+  LatencyProfile() = default;
+  LatencyProfile(std::string function_name, ProfileGrid grid);
+
+  const std::string& function_name() const noexcept { return name_; }
+  const ProfileGrid& grid() const noexcept { return grid_; }
+
+  /// Installs the sample set for one grid point.  Percentiles P1..P99 are
+  /// extracted immediately; raw samples are retained for distribution-aware
+  /// baselines (ORION convolves per-function samples).
+  void set_samples(Millicores k, Concurrency c, std::vector<double> samples);
+
+  /// L(p, k, c): profiled execution time in seconds.  `p` in [1, 99]; k
+  /// must be on the grid; throws otherwise.
+  Seconds latency(Percentile p, Millicores k, Concurrency c) const;
+
+  /// L(p, k, c) rounded up to integral milliseconds (the synthesizer's
+  /// budget grid).
+  BudgetMs latency_ms(Percentile p, Millicores k, Concurrency c) const;
+
+  /// The retained (sorted) samples for a grid point.
+  const std::vector<double>& samples(Millicores k, Concurrency c) const;
+
+  bool has_point(Millicores k, Concurrency c) const noexcept;
+
+  /// CSV round-trip: columns fn,k,c,p1..p99.
+  std::string to_csv() const;
+  static LatencyProfile from_csv(const std::string& text);
+
+  /// Approximate resident bytes (for the §V-H memory-footprint bench).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::size_t index_of(Millicores k, Concurrency c) const;
+
+  std::string name_;
+  ProfileGrid grid_;
+  /// percentiles_[idx][p-1] = P_p latency; idx = conc-major, k-minor.
+  std::vector<std::vector<double>> percentiles_;
+  std::vector<std::vector<double>> samples_;
+};
+
+}  // namespace janus

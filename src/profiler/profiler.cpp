@@ -1,0 +1,83 @@
+#include "profiler/profiler.hpp"
+
+#include <functional>
+
+namespace janus {
+
+InterferenceParams workload_interference_params() {
+  InterferenceParams p;
+  p.slope_cpu = 0.05;
+  p.slope_memory = 0.12;
+  p.slope_io = 0.08;
+  p.slope_network = 0.15;
+  p.jitter_sigma = 0.10;
+  return p;
+}
+
+LatencyProfile profile_function(const FunctionModel& model,
+                                const ProfilerConfig& config) {
+  config.grid.validate();
+  require(config.samples_per_point > 0, "samples_per_point must be > 0");
+
+  LatencyProfile profile(model.name(), config.grid);
+  const auto cores = config.grid.cores();
+
+  // One RNG stream per function name hash keeps profiles independent of
+  // profiling order.
+  Rng root(config.seed);
+  const std::uint64_t fn_stream =
+      std::hash<std::string>{}(model.name());
+  Rng rng = root.split(fn_stream);
+
+  for (std::size_t ci = 0; ci < config.grid.concurrencies.size(); ++ci) {
+    const Concurrency c = config.grid.concurrencies[ci];
+    if (c > 1 && !model.batchable()) continue;
+    const CoLocationDistribution coloc =
+        ci < config.colocation.size()
+            ? config.colocation[ci]
+            : CoLocationDistribution::for_concurrency(c);
+
+    // Common random numbers across the k axis.
+    const auto n = static_cast<std::size_t>(config.samples_per_point);
+    std::vector<double> ws(n), interf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ws[i] = model.sample_ws(c, rng);
+      const int colocated = coloc.sample(rng);
+      interf[i] = config.interference.sample_multiplier(model.dim(), colocated,
+                                                        rng);
+    }
+    for (Millicores k : cores) {
+      std::vector<double> samples;
+      samples.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        samples.push_back(model.exec_time(k, c, ws[i], interf[i]));
+      }
+      profile.set_samples(k, c, std::move(samples));
+    }
+  }
+  return profile;
+}
+
+std::vector<LatencyProfile> profile_workload(const WorkloadSpec& workload,
+                                             const ProfilerConfig& config) {
+  std::vector<LatencyProfile> out;
+  for (const FunctionModel& model : workload.chain_models()) {
+    out.push_back(profile_function(model, config));
+  }
+  return out;
+}
+
+ProfilerConfig default_profiler_config(const WorkloadSpec& workload) {
+  ProfilerConfig config;
+  config.grid.kmin = kDefaultKmin;
+  config.grid.kmax = kDefaultKmax;
+  config.grid.kstep = kDefaultKstep;
+  config.grid.concurrencies.clear();
+  for (Concurrency c = 1; c <= workload.max_concurrency; ++c) {
+    config.grid.concurrencies.push_back(c);
+  }
+  config.interference = InterferenceModel(workload_interference_params());
+  return config;
+}
+
+}  // namespace janus

@@ -1,0 +1,49 @@
+// The developer-side profiler (§III-B).
+//
+// Runs each function across the (millicore × concurrency) grid under the
+// runtime dynamics the developer expects in production — working-set
+// variation plus co-location interference — and extracts the percentile
+// profile.  Common random numbers are used across the millicore axis: the
+// same (working set, interference) draws are re-evaluated at every size, so
+// profiled latency is exactly monotone in k (an invariant the synthesizer's
+// DP relies on, and which real profiling approximates with large samples).
+#pragma once
+
+#include <cstdint>
+
+#include "model/function_model.hpp"
+#include "model/interference.hpp"
+#include "model/workloads.hpp"
+#include "profiler/profile.hpp"
+
+namespace janus {
+
+struct ProfilerConfig {
+  ProfileGrid grid;
+  /// Draws per grid point (per concurrency; shared across the k axis).
+  int samples_per_point = 3000;
+  InterferenceModel interference{};
+  /// Co-location seen during profiling, per concurrency; when empty,
+  /// CoLocationDistribution::for_concurrency is used.
+  std::vector<CoLocationDistribution> colocation;
+  std::uint64_t seed = 7;
+};
+
+/// Interference parameters appropriate for the evaluation workflows: same
+/// ordering as Fig 1c but gentler slopes — production chains do not contend
+/// as brutally as the §II-B micro stress tests.
+InterferenceParams workload_interference_params();
+
+/// Profiles a single function over the grid.
+LatencyProfile profile_function(const FunctionModel& model,
+                                const ProfilerConfig& config);
+
+/// Profiles every function of a workload (chain order).
+std::vector<LatencyProfile> profile_workload(const WorkloadSpec& workload,
+                                             const ProfilerConfig& config);
+
+/// Default profiler configuration for a workload: grid 1000..3000 step 100,
+/// concurrencies 1..max (batchable permitting), calibrated interference.
+ProfilerConfig default_profiler_config(const WorkloadSpec& workload);
+
+}  // namespace janus

@@ -1,0 +1,37 @@
+#include "sim/engine.hpp"
+
+namespace janus {
+
+void SimEngine::schedule_at(Seconds t, std::function<void()> fn) {
+  require(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::schedule_after(Seconds delay, std::function<void()> fn) {
+  require(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool SimEngine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately and Event's members are moved-from only.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void SimEngine::run() {
+  while (step()) {
+  }
+}
+
+void SimEngine::run_until(Seconds t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace janus

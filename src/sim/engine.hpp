@@ -1,0 +1,57 @@
+// Discrete-event simulation engine.
+//
+// A minimal calendar: events are (time, sequence, closure) triples executed
+// in time order; ties break by insertion sequence so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+class SimEngine {
+ public:
+  Seconds now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now).
+  void schedule_at(Seconds t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  void schedule_after(Seconds delay, std::function<void()> fn);
+
+  /// Executes the next event; returns false when the calendar is empty.
+  bool step();
+
+  /// Runs until the calendar drains.
+  void run();
+
+  /// Runs until simulated time passes `t` or the calendar drains.
+  void run_until(Seconds t);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace janus

@@ -1,0 +1,213 @@
+#include "sim/platform.hpp"
+
+#include <algorithm>
+
+namespace janus {
+
+Platform::Platform(SimEngine& engine, PlatformConfig config,
+                   std::vector<FunctionModel> functions,
+                   InterferenceModel interference)
+    : engine_(engine),
+      config_(config),
+      functions_(std::move(functions)),
+      interference_(interference),
+      rng_(config.seed) {
+  require(config_.nodes > 0, "platform needs >= 1 node");
+  require(!functions_.empty(), "platform needs >= 1 function");
+  nodes_.resize(static_cast<std::size_t>(config_.nodes),
+                Node{config_.node.capacity_mc, 0});
+  pods_per_function_.assign(functions_.size(), 0);
+
+  // Pre-warm the generic pool, spread round-robin across nodes (Fission's
+  // PoolManager keeps a pool of generic pods that get specialized on first
+  // use, which is what gives it "excellent performance against cold starts").
+  const int generic = config_.pool.prewarm_per_function *
+                      static_cast<int>(functions_.size());
+  for (int i = 0; i < generic; ++i) {
+    Pod pod;
+    pod.node = i % config_.nodes;
+    pods_.push_back(pod);
+    idle_[-1].push_back(static_cast<int>(pods_.size()) - 1);
+  }
+}
+
+const FunctionModel& Platform::function(int fn_index) const {
+  require(fn_index >= 0 &&
+              static_cast<std::size_t>(fn_index) < functions_.size(),
+          "function index out of range");
+  return functions_[static_cast<std::size_t>(fn_index)];
+}
+
+int Platform::place(int fn_index, Millicores size) {
+  // Count pods of this function per node; prefer the node with the most
+  // (co-location packing), then the least-loaded node with room.
+  std::vector<int> per_node(nodes_.size(), 0);
+  for (const auto& pod : pods_) {
+    if (pod.fn_index == fn_index) ++per_node[static_cast<std::size_t>(pod.node)];
+  }
+  int best = -1;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].used + size > nodes_[n].capacity) continue;
+    if (best < 0 || per_node[n] > per_node[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(n);
+    }
+  }
+  if (best < 0) {
+    // Saturated cluster: fall back to the least-used node (the simulator
+    // allows oversubscription rather than rejecting, like CPU shares).
+    best = 0;
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+      if (nodes_[n].used < nodes_[static_cast<std::size_t>(best)].used) {
+        best = static_cast<int>(n);
+      }
+    }
+  }
+  return best;
+}
+
+Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
+  // 1. Warm pod already specialized for this function.
+  auto& warm = idle_[fn_index];
+  if (!warm.empty()) {
+    const int pod = warm.back();
+    warm.pop_back();
+    // Resize in place: adjust the node's accounting to the new size.
+    auto& p = pods_[static_cast<std::size_t>(pod)];
+    nodes_[static_cast<std::size_t>(p.node)].used += size - p.size;
+    p.size = size;
+    return {pod, 0.0, false};
+  }
+  // 2. Specialize a generic pre-warmed pod.
+  auto& generic = idle_[-1];
+  const bool can_grow =
+      config_.pool.max_pods_per_function <= 0 ||
+      pods_per_function_[static_cast<std::size_t>(fn_index)] <
+          config_.pool.max_pods_per_function;
+  if (!generic.empty() && can_grow) {
+    const int pod = generic.back();
+    generic.pop_back();
+    auto& p = pods_[static_cast<std::size_t>(pod)];
+    p.fn_index = fn_index;
+    p.node = place(fn_index, size);
+    p.size = size;
+    nodes_[static_cast<std::size_t>(p.node)].used += size;
+    ++pods_per_function_[static_cast<std::size_t>(fn_index)];
+    return {pod, config_.pool.warm_start_s, false};
+  }
+  // 3. Cold start a fresh pod — unless the scale-out limit is reached, in
+  // which case the invocation must wait for a pod to free up.
+  if (!can_grow) return {-1, 0.0, false};
+  Pod p;
+  p.fn_index = fn_index;
+  p.node = place(fn_index, size);
+  p.size = size;
+  nodes_[static_cast<std::size_t>(p.node)].used += size;
+  pods_.push_back(p);
+  ++pods_per_function_[static_cast<std::size_t>(fn_index)];
+  ++cold_starts_;
+  return {static_cast<int>(pods_.size()) - 1, config_.pool.cold_start_s, true};
+}
+
+int Platform::count_busy_colocated(int pod_index) const {
+  const auto& self = pods_[static_cast<std::size_t>(pod_index)];
+  int count = 0;
+  for (const auto& pod : pods_) {
+    if (pod.busy && pod.node == self.node && pod.fn_index == self.fn_index) {
+      ++count;
+    }
+  }
+  return std::max(count, 1);
+}
+
+void Platform::invoke(int fn_index, Millicores size, Concurrency c,
+                      double ws_factor,
+                      std::optional<double> exogenous_interference,
+                      std::function<void(const InvocationOutcome&)> done) {
+  const FunctionModel& model = function(fn_index);
+  require(size > 0, "size must be > 0 millicores");
+  require(c >= 1, "concurrency must be >= 1");
+  require(c == 1 || model.batchable(), "function is not batchable");
+
+  const Acquired got = acquire(fn_index, size);
+  if (got.pod < 0) {
+    // Scale-out limit hit: queue until a pod of this function frees up.
+    pending_[fn_index].push_back({size, c, ws_factor, exogenous_interference,
+                                  std::move(done), engine_.now()});
+    return;
+  }
+  start_on_pod(fn_index, got, size, c, ws_factor, exogenous_interference,
+               /*queued_s=*/0.0, std::move(done));
+}
+
+void Platform::start_on_pod(
+    int fn_index, const Acquired& got, Millicores size, Concurrency c,
+    double ws_factor, std::optional<double> exogenous_interference,
+    Seconds queued_s, std::function<void(const InvocationOutcome&)> done) {
+  const FunctionModel& model = function(fn_index);
+  auto& pod = pods_[static_cast<std::size_t>(got.pod)];
+  pod.busy = true;
+  ++invocations_;
+
+  InvocationOutcome outcome;
+  outcome.queued_s = queued_s;
+  outcome.startup_s = got.startup;
+  outcome.cold_start = got.cold;
+  outcome.colocated = count_busy_colocated(got.pod);
+  if (exogenous_interference.has_value()) {
+    outcome.interference = *exogenous_interference;
+  } else {
+    outcome.interference =
+        interference_.sample_multiplier(model.dim(), outcome.colocated, rng_);
+  }
+  outcome.exec_s = model.exec_time(size, c, ws_factor, outcome.interference);
+
+  const int pod_index = got.pod;
+  engine_.schedule_after(
+      outcome.startup_s + outcome.exec_s,
+      [this, pod_index, fn_index, outcome, done = std::move(done)] {
+        auto& p = pods_[static_cast<std::size_t>(pod_index)];
+        p.busy = false;
+        idle_[fn_index].push_back(pod_index);
+        done(outcome);
+
+        // Drain one queued invocation of this function, if any (FIFO).
+        auto& waiting = pending_[fn_index];
+        if (!waiting.empty()) {
+          PendingInvocation next = std::move(waiting.front());
+          waiting.erase(waiting.begin());
+          const Acquired reacquired = acquire(fn_index, next.size);
+          // A pod just went idle, so reacquisition cannot fail.
+          start_on_pod(fn_index, reacquired, next.size, next.concurrency,
+                       next.ws_factor, next.exogenous_interference,
+                       engine_.now() - next.enqueued_at, std::move(next.done));
+        }
+      });
+}
+
+int Platform::peak_colocation(int fn_index) const {
+  std::vector<int> per_node(nodes_.size(), 0);
+  for (const auto& pod : pods_) {
+    if (pod.busy && pod.fn_index == fn_index) {
+      ++per_node[static_cast<std::size_t>(pod.node)];
+    }
+  }
+  int peak = 0;
+  for (int n : per_node) peak = std::max(peak, n);
+  return peak;
+}
+
+std::size_t Platform::queued_invocations() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [fn, waiting] : pending_) total += waiting.size();
+  return total;
+}
+
+Millicores Platform::busy_millicores() const {
+  Millicores total = 0;
+  for (const auto& pod : pods_) {
+    if (pod.busy) total += pod.size;
+  }
+  return total;
+}
+
+}  // namespace janus

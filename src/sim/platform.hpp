@@ -1,0 +1,161 @@
+// Serverless platform simulator (the Fission-on-Kubernetes substitute).
+//
+// Models the pieces of the provider stack that Janus's adapter touches:
+//  * cluster nodes with millicore capacity,
+//  * function pods with a Fission-PoolManager-style warm pool (pre-warmed
+//    generic pods are specialized on first use; warm reuse is cheap, cold
+//    starts pay a penalty),
+//  * same-function co-location on nodes (the placement policy packs
+//    instances of one function together, as commercial platforms do, which
+//    is what creates the interference of Fig 1c),
+//  * a resize API: each invocation carries the millicore size decided by
+//    the active sizing policy — the late-binding hook.
+//
+// Interference can be *exogenous* (the caller pre-draws the multiplier, so
+// clairvoyant baselines can see it — mirrors replaying a recorded run) or
+// *endogenous* (derived from the actual number of busy co-located pods).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "model/function_model.hpp"
+#include "model/interference.hpp"
+#include "sim/engine.hpp"
+
+namespace janus {
+
+struct NodeConfig {
+  Millicores capacity_mc = 52000;  // testbed: 52 physical cores
+};
+
+struct PoolConfig {
+  /// Pods kept warm per function (Fission PoolManager poolsize).
+  int prewarm_per_function = 8;
+  /// Specializing a generic warm pod (package load) — cheap.
+  Seconds warm_start_s = 0.005;
+  /// Full cold start when the warm pool is exhausted.
+  Seconds cold_start_s = 0.450;
+  /// Upper bound on pods per function (scale-out limit); 0 = unlimited.
+  int max_pods_per_function = 0;
+};
+
+struct PlatformConfig {
+  int nodes = 4;
+  NodeConfig node;
+  PoolConfig pool;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome handed to the invocation's completion callback.
+struct InvocationOutcome {
+  Seconds queued_s = 0.0;     // wait for pod capacity
+  Seconds startup_s = 0.0;    // warm specialize or cold start
+  Seconds exec_s = 0.0;       // model execution time
+  int colocated = 1;          // same-function busy pods on the node
+  double interference = 1.0;  // multiplier actually applied
+  bool cold_start = false;
+
+  Seconds total() const noexcept { return queued_s + startup_s + exec_s; }
+};
+
+class Platform {
+ public:
+  Platform(SimEngine& engine, PlatformConfig config,
+           std::vector<FunctionModel> functions,
+           InterferenceModel interference = InterferenceModel{});
+
+  /// Number of registered functions.
+  std::size_t function_count() const noexcept { return functions_.size(); }
+  const FunctionModel& function(int fn_index) const;
+
+  /// Invokes function `fn_index` with `size` millicores and batch size `c`.
+  /// `ws_factor` is the invocation's working-set draw (the caller owns the
+  /// randomness so clairvoyant policies can share it).  When
+  /// `exogenous_interference` is set it is applied verbatim; otherwise the
+  /// multiplier is sampled from the co-location actually present.
+  /// `done` fires at completion with the outcome.
+  void invoke(int fn_index, Millicores size, Concurrency c, double ws_factor,
+              std::optional<double> exogenous_interference,
+              std::function<void(const InvocationOutcome&)> done);
+
+  /// Busy same-function pods currently on the node hosting most instances
+  /// of `fn_index` (diagnostic; used by tests and the fig1c bench).
+  int peak_colocation(int fn_index) const;
+
+  /// Invocations currently waiting for a pod (scale-out limit reached).
+  std::size_t queued_invocations() const noexcept;
+
+  /// Total millicores currently allocated to busy pods (diagnostic).
+  Millicores busy_millicores() const;
+
+  std::uint64_t cold_starts() const noexcept { return cold_starts_; }
+  std::uint64_t invocations() const noexcept { return invocations_; }
+
+ private:
+  struct Pod {
+    int fn_index = -1;  // -1 while generic (not yet specialized)
+    int node = 0;
+    Millicores size = 0;
+    bool busy = false;
+  };
+  struct Node {
+    Millicores capacity = 0;
+    Millicores used = 0;
+  };
+
+  /// Chooses a node for a new pod of `fn_index`: prefer the node already
+  /// hosting the most pods of that function (co-location packing), subject
+  /// to capacity.
+  int place(int fn_index, Millicores size);
+
+  /// Finds an idle pod of the function or specializes/creates one.
+  /// Returns pod index and the startup delay + cold flag; pod == -1 means
+  /// the per-function scale-out limit is reached and the caller must queue.
+  struct Acquired {
+    int pod;
+    Seconds startup;
+    bool cold;
+  };
+  Acquired acquire(int fn_index, Millicores size);
+
+  /// A queued invocation waiting for a pod of its function to free up.
+  struct PendingInvocation {
+    Millicores size;
+    Concurrency concurrency;
+    double ws_factor;
+    std::optional<double> exogenous_interference;
+    std::function<void(const InvocationOutcome&)> done;
+    Seconds enqueued_at;
+  };
+
+  /// Runs an invocation on an acquired pod (after any startup delay).
+  void start_on_pod(int fn_index, const Acquired& got, Millicores size,
+                    Concurrency c, double ws_factor,
+                    std::optional<double> exogenous_interference,
+                    Seconds queued_s,
+                    std::function<void(const InvocationOutcome&)> done);
+
+  int count_busy_colocated(int pod_index) const;
+
+  SimEngine& engine_;
+  PlatformConfig config_;
+  std::vector<FunctionModel> functions_;
+  InterferenceModel interference_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<Pod> pods_;
+  // Idle pod indices per function; -1 bucket (generic pool) keyed by -1.
+  std::map<int, std::vector<int>> idle_;
+  // FIFO of invocations blocked on the scale-out limit, per function.
+  std::map<int, std::vector<PendingInvocation>> pending_;
+  std::vector<int> pods_per_function_;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace janus

@@ -1,0 +1,103 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+double inverse_normal_cdf(double q) {
+  require(q > 0.0 && q < 1.0, "inverse_normal_cdf q outside (0,1)");
+  // Acklam's approximation, |relative error| < 1.15e-9.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+
+  if (q < plow) {
+    const double r = std::sqrt(-2 * std::log(q));
+    return (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]) /
+           ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1);
+  }
+  if (q <= phigh) {
+    const double r = q - 0.5;
+    const double t = r * r;
+    return (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5]) *
+           r /
+           (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1);
+  }
+  const double r = std::sqrt(-2 * std::log(1 - q));
+  return -(((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]) /
+         ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1);
+}
+
+LogNormal::LogNormal(double median, double sigma)
+    : median_(median), sigma_(sigma) {
+  require(median > 0.0, "lognormal median must be > 0");
+  require(sigma >= 0.0, "lognormal sigma must be >= 0");
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return median_ * std::exp(sigma_ * rng.normal());
+}
+
+double LogNormal::quantile(double q) const {
+  if (sigma_ == 0.0) return median_;
+  return median_ * std::exp(sigma_ * inverse_normal_cdf(q));
+}
+
+double LogNormal::sigma_for_p99_over_p50(double ratio) {
+  require(ratio >= 1.0, "P99/P50 ratio must be >= 1");
+  return std::log(ratio) / inverse_normal_cdf(0.99);
+}
+
+BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  require(lo > 0.0 && hi > lo, "bounded pareto needs 0 < lo < hi");
+  require(alpha > 0.0, "bounded pareto alpha must be > 0");
+}
+
+double BoundedPareto::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  // Inverse CDF of the truncated Pareto.
+  return std::pow(-(q * ha - q * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+double BoundedPareto::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+Zipf::Zipf(std::size_t n, double s) {
+  require(n > 0, "zipf needs n >= 1");
+  require(s > 0.0, "zipf exponent must be > 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::probability(std::size_t rank) const {
+  require(rank < cdf_.size(), "zipf rank out of range");
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace janus

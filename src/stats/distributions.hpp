@@ -1,0 +1,64 @@
+// Parametric samplers used by the workload models and the trace
+// synthesizer.  All draw from janus::Rng so experiments stay deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace janus {
+
+/// Lognormal parameterized by its *median* and the log-space sigma.  The
+/// paper reports dispersion as P99/P50 ratios, and for a lognormal
+/// P99/P50 = exp(2.326 * sigma), so this form maps directly onto the
+/// published numbers.
+class LogNormal {
+ public:
+  LogNormal(double median, double sigma);
+
+  double sample(Rng& rng) const;
+  /// Quantile function; q in (0, 1).
+  double quantile(double q) const;
+  double median() const noexcept { return median_; }
+  double sigma() const noexcept { return sigma_; }
+
+  /// Sigma such that quantile(0.99)/quantile(0.5) equals `ratio`.
+  static double sigma_for_p99_over_p50(double ratio);
+
+ private:
+  double median_;
+  double sigma_;
+};
+
+/// Bounded Pareto on [lo, hi] with tail index alpha — heavy-tailed function
+/// durations for the Azure-like trace synthesizer.
+class BoundedPareto {
+ public:
+  BoundedPareto(double lo, double hi, double alpha);
+  double sample(Rng& rng) const;
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double alpha_;
+};
+
+/// Zipf over ranks 1..n with exponent s — function popularity in traces.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+  /// Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+  double probability(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Standard-normal inverse CDF (Acklam's rational approximation); used to
+/// evaluate lognormal quantiles without a sampling loop.
+double inverse_normal_cdf(double q);
+
+}  // namespace janus

@@ -1,0 +1,46 @@
+// Empirical distribution over a fixed sample set: percentile lookup, CDF
+// evaluation, and CDF-series extraction for figure output.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace janus {
+
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  /// Takes ownership of samples; sorts them once.  Throws on empty input.
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Percentile with linear interpolation; p in [0, 100].
+  double percentile(double p) const;
+
+  /// Empirical CDF: fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// Fraction of samples strictly greater than x (e.g. SLO violations).
+  double fraction_above(double x) const;
+
+  /// Evenly spaced (value, cumulative-probability) series with `points`
+  /// entries, suitable for plotting Fig 1a / Fig 4 style CDFs.
+  std::vector<std::pair<double, double>> cdf_series(std::size_t points) const;
+
+  const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations, for stddev
+};
+
+}  // namespace janus

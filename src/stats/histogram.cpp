@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(hi > lo, "histogram hi must exceed lo");
+  require(bins > 0, "histogram needs >= 1 bin");
+}
+
+void Histogram::add(double x) noexcept { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::size_t n) noexcept {
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += n;
+    return;
+  }
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / w);
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += n;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  require(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  require(i < counts_.size(), "histogram bin out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) * static_cast<double>(width)));
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace janus

@@ -1,0 +1,39 @@
+// Fixed-width histogram for quick-look distribution summaries in examples
+// and for the trace synthesizer's self-checks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into `bins` equal cells plus under/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_n(double x, std::size_t n) noexcept;
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t bin_count(std::size_t i) const;
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// ASCII rendering, one bucket per line, bar scaled to `width` chars.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace janus

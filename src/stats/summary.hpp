@@ -1,0 +1,33 @@
+// Online summary statistics (Welford) — cheap aggregation for the DES
+// metrics and the adapter's supervision counters.
+#pragma once
+
+#include <cstddef>
+
+namespace janus {
+
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another summary (parallel reduction).
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace janus

@@ -1,0 +1,152 @@
+// Tests for src/adapter: lookup flow, Kmax fallback, supervision counters,
+// regeneration feedback, bundle reinstall.
+#include <gtest/gtest.h>
+
+#include "adapter/adapter.hpp"
+
+namespace janus {
+namespace {
+
+/// Hand-built bundle: stage 0 covers [1000, 2000] ms, stage 1 [500, 900] ms.
+HintsBundle tiny_bundle() {
+  HintsBundle bundle;
+  bundle.suffix_tables.push_back(
+      HintsTable({{1000, 1500, 3000}, {1501, 2000, 1500}}));
+  bundle.suffix_tables.push_back(HintsTable({{500, 900, 1200}}));
+  return bundle;
+}
+
+TEST(Adapter, HitReturnsTableSize) {
+  Adapter adapter(tiny_bundle());
+  EXPECT_EQ(adapter.size_for_stage(0, 1.2), 3000);
+  EXPECT_EQ(adapter.size_for_stage(0, 1.8), 1500);
+  EXPECT_EQ(adapter.stats().hits, 2u);
+  EXPECT_EQ(adapter.stats().misses, 0u);
+}
+
+TEST(Adapter, MissFallsBackToKmax) {
+  AdapterConfig config;
+  config.kmax = 2800;
+  Adapter adapter(tiny_bundle(), config);
+  EXPECT_EQ(adapter.size_for_stage(0, 0.4), 2800);  // below table range
+  EXPECT_EQ(adapter.stats().misses, 1u);
+}
+
+TEST(Adapter, ClampedHighUsesCheapestEntry) {
+  Adapter adapter(tiny_bundle());
+  EXPECT_EQ(adapter.size_for_stage(0, 10.0), 1500);
+  EXPECT_EQ(adapter.stats().clamped, 1u);
+  EXPECT_EQ(adapter.stats().misses, 0u);
+}
+
+TEST(Adapter, BudgetFloorsToMs) {
+  Adapter adapter(tiny_bundle());
+  // 0.9999 s floors to 999 ms — below the 1000 ms table start: a miss.
+  adapter.size_for_stage(0, 0.9999);
+  EXPECT_EQ(adapter.stats().misses, 1u);
+}
+
+TEST(Adapter, NegativeBudgetIsMiss) {
+  Adapter adapter(tiny_bundle());
+  EXPECT_EQ(adapter.size_for_stage(1, -0.5), kDefaultKmax);
+  EXPECT_EQ(adapter.stats().misses, 1u);
+}
+
+TEST(Adapter, PerStageTables) {
+  Adapter adapter(tiny_bundle());
+  EXPECT_EQ(adapter.size_for_stage(1, 0.6), 1200);
+  EXPECT_THROW(adapter.size_for_stage(2, 1.0), std::invalid_argument);
+}
+
+TEST(Adapter, PeekHasNoSideEffects) {
+  Adapter adapter(tiny_bundle());
+  const auto result = adapter.peek(0, 1.2);
+  EXPECT_EQ(result.kind, HintsTable::LookupKind::Hit);
+  EXPECT_EQ(adapter.stats().lookups(), 0u);
+}
+
+TEST(Adapter, MissRateComputation) {
+  Adapter adapter(tiny_bundle());
+  adapter.size_for_stage(0, 1.2);  // hit
+  adapter.size_for_stage(0, 0.1);  // miss
+  EXPECT_DOUBLE_EQ(adapter.stats().miss_rate(), 0.5);
+}
+
+TEST(Adapter, RegenerationNeedsMinObservations) {
+  AdapterConfig config;
+  config.min_observations = 10;
+  config.miss_rate_threshold = 0.2;
+  Adapter adapter(tiny_bundle(), config);
+  for (int i = 0; i < 5; ++i) adapter.size_for_stage(0, 0.1);  // all misses
+  EXPECT_FALSE(adapter.regeneration_suggested());  // too few observations
+  for (int i = 0; i < 5; ++i) adapter.size_for_stage(0, 0.1);
+  EXPECT_TRUE(adapter.regeneration_suggested());
+}
+
+TEST(Adapter, FeedbackFiresOnceOnThresholdCrossing) {
+  AdapterConfig config;
+  config.min_observations = 4;
+  config.miss_rate_threshold = 0.5;
+  Adapter adapter(tiny_bundle(), config);
+  int calls = 0;
+  double reported = 0.0;
+  adapter.set_feedback([&](double rate) {
+    ++calls;
+    reported = rate;
+  });
+  for (int i = 0; i < 8; ++i) adapter.size_for_stage(0, 0.1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_GT(reported, 0.5);
+}
+
+TEST(Adapter, LowMissRateNeverTriggers) {
+  AdapterConfig config;
+  config.min_observations = 10;
+  Adapter adapter(tiny_bundle(), config);
+  int calls = 0;
+  adapter.set_feedback([&](double) { ++calls; });
+  for (int i = 0; i < 200; ++i) adapter.size_for_stage(0, 1.2);  // hits
+  adapter.size_for_stage(0, 0.1);  // one miss in 201: 0.5% < 1% default
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(adapter.regeneration_suggested());
+}
+
+TEST(Adapter, InstallBundleResetsStats) {
+  Adapter adapter(tiny_bundle());
+  adapter.size_for_stage(0, 0.1);
+  EXPECT_EQ(adapter.stats().misses, 1u);
+  adapter.install_bundle(tiny_bundle());
+  EXPECT_EQ(adapter.stats().lookups(), 0u);
+}
+
+TEST(Adapter, InstallBundleRejectsShapeChange) {
+  Adapter adapter(tiny_bundle());
+  HintsBundle other;
+  other.suffix_tables.push_back(HintsTable({{1, 2, 1000}}));
+  EXPECT_THROW(adapter.install_bundle(std::move(other)),
+               std::invalid_argument);
+}
+
+TEST(Adapter, ConfigValidation) {
+  AdapterConfig config;
+  config.kmax = 0;
+  EXPECT_THROW(Adapter(tiny_bundle(), config), std::invalid_argument);
+  config = {};
+  config.miss_rate_threshold = 0.0;
+  EXPECT_THROW(Adapter(tiny_bundle(), config), std::invalid_argument);
+  EXPECT_THROW(Adapter(HintsBundle{}), std::invalid_argument);
+}
+
+TEST(Adapter, MemoryBytesIncludesTables) {
+  Adapter adapter(tiny_bundle());
+  EXPECT_GT(adapter.memory_bytes(), sizeof(Adapter));
+}
+
+TEST(AdapterStats, EmptyStatsSafe) {
+  AdapterStats stats;
+  EXPECT_EQ(stats.lookups(), 0u);
+  EXPECT_DOUBLE_EQ(stats.miss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace janus

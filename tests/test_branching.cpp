@@ -1,0 +1,166 @@
+// Tests for src/branching: level collapse, comonotonic max profiles,
+// width-weighted synthesis, and end-to-end fork-join serving.
+#include <gtest/gtest.h>
+
+#include "branching/level_workflow.hpp"
+#include "policy/early_binding.hpp"
+#include "policy/janus_policy.hpp"
+
+namespace janus {
+namespace {
+
+class BranchingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ProfilerConfig config;
+    config.grid.kstep = 500;
+    config.samples_per_point = 1000;
+    config.interference = InterferenceModel(workload_interference_params());
+    lw_ = new LevelWorkload(build_level_workload(make_social_feed(), config));
+  }
+  static void TearDownTestSuite() {
+    delete lw_;
+    lw_ = nullptr;
+  }
+  static const LevelWorkload& lw() { return *lw_; }
+
+ private:
+  static LevelWorkload* lw_;
+};
+
+LevelWorkload* BranchingTest::lw_ = nullptr;
+
+TEST_F(BranchingTest, SocialFeedCollapsesToThreeLevels) {
+  EXPECT_EQ(lw().level_count(), 3u);
+  EXPECT_EQ(lw().widths, (std::vector<int>{1, 3, 1}));
+  EXPECT_EQ(lw().levels[1].size(), 3u);
+}
+
+TEST_F(BranchingTest, LevelProfileDominatesMembers) {
+  // The level max-profile must be >= every member profile at all points.
+  const auto& level = lw().level_profiles[1];
+  for (FunctionId id : lw().levels[1]) {
+    const auto& member = lw().function_profiles[static_cast<std::size_t>(id)];
+    for (Millicores k : {1000, 2000, 3000}) {
+      for (Percentile p : {1, 50, 99}) {
+        EXPECT_GE(level.latency(p, k, 1) + 1e-12, member.latency(p, k, 1))
+            << "fn=" << id << " k=" << k << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST_F(BranchingTest, SingleFunctionLevelEqualsItsProfile) {
+  const auto& level = lw().level_profiles[0];
+  const auto& member = lw().function_profiles[static_cast<std::size_t>(
+      lw().levels[0][0])];
+  EXPECT_DOUBLE_EQ(level.latency(50, 2000, 1), member.latency(50, 2000, 1));
+}
+
+TEST_F(BranchingTest, LevelProfileStaysMonotone) {
+  const auto& level = lw().level_profiles[1];
+  double prev = 1e18;
+  for (Millicores k = 1000; k <= 3000; k += 500) {
+    const double cur = level.latency(99, k, 1);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_F(BranchingTest, SynthesisConfigCarriesWidths) {
+  const auto config = level_synthesis_config(lw());
+  EXPECT_EQ(config.stage_widths, (std::vector<int>{1, 3, 1}));
+}
+
+TEST_F(BranchingTest, WidthsInflateExpectedCost) {
+  // The fan-out level must be charged 3x per millicore: raising the level
+  // width cannot make hints cheaper.
+  SynthesisConfig narrow = level_synthesis_config(lw());
+  narrow.kstep = 500;
+  narrow.budget_step = 10;
+  SynthesisConfig no_widths = narrow;
+  no_widths.stage_widths.clear();
+  const HintsGenerator weighted(lw().level_profiles, narrow);
+  const HintsGenerator unweighted(lw().level_profiles, no_widths);
+  const RawHint a = weighted.solve_budget(0, 3200);
+  const RawHint b = unweighted.solve_budget(0, 3200);
+  ASSERT_FALSE(a.sizes.empty());
+  ASSERT_FALSE(b.sizes.empty());
+  EXPECT_GT(a.expected_cost, b.expected_cost);
+}
+
+TEST_F(BranchingTest, EndToEndMeetsSloNearP99) {
+  SynthesisConfig synth = level_synthesis_config(lw());
+  synth.kstep = 500;
+  synth.budget_step = 5;
+  auto policy = make_janus(lw().level_profiles, synth, 2.2);
+  RunConfig config;
+  config.slo = 2.2;
+  config.requests = 300;
+  const RunResult result = run_level_workload(lw(), *policy, config);
+  EXPECT_EQ(result.requests.size(), 300u);
+  EXPECT_LE(result.violation_rate(), 0.03);
+  for (const auto& r : result.requests) {
+    // 3 levels, widths 1+3+1 = 5 allocations between Kmin and Kmax each.
+    EXPECT_EQ(r.sizes.size(), 3u);
+    EXPECT_GE(r.cpu_mc, 5.0 * 1000);
+    EXPECT_LE(r.cpu_mc, 5.0 * 3000);
+  }
+}
+
+TEST_F(BranchingTest, AdaptationBeatsFixedSizing) {
+  SynthesisConfig synth = level_synthesis_config(lw());
+  synth.kstep = 500;
+  synth.budget_step = 5;
+  auto janus_policy = make_janus(lw().level_profiles, synth, 2.2);
+  EarlyBindingInputs eb;
+  eb.profiles = &lw().level_profiles;
+  eb.slo = 2.2;
+  eb.kstep = 500;
+  auto fixed = make_grandslam_plus(eb);
+  RunConfig config;
+  config.slo = 2.2;
+  config.requests = 300;
+  const double cpu_janus =
+      run_level_workload(lw(), *janus_policy, config).mean_cpu();
+  // Fixed sizing pays each level width times its static size.
+  const RunResult fixed_result = run_level_workload(lw(), *fixed, config);
+  EXPECT_LT(cpu_janus, fixed_result.mean_cpu());
+}
+
+TEST(LevelWorkloadChain, PlainChainDegeneratesToIdentity) {
+  ProfilerConfig config;
+  config.grid.kstep = 1000;
+  config.samples_per_point = 300;
+  const LevelWorkload lw = build_level_workload(make_va(), config);
+  EXPECT_EQ(lw.level_count(), 3u);
+  EXPECT_EQ(lw.widths, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(TailPlanWidths, RejectsBadWidths) {
+  ProfilerConfig config;
+  config.grid.kstep = 1000;
+  config.samples_per_point = 200;
+  const auto profile =
+      profile_function(make_micro_function(ResourceDim::Cpu), config);
+  EXPECT_THROW(TailPlan({&profile}, 1, 1000, 3000, 1000, 100, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(TailPlan({&profile}, 1, 1000, 3000, 1000, 100, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(TailPlanWidths, CostScalesWithWidth) {
+  ProfilerConfig config;
+  config.grid.kstep = 1000;
+  config.samples_per_point = 500;
+  const auto profile =
+      profile_function(make_micro_function(ResourceDim::Cpu), config);
+  const BudgetMs horizon = profile.latency_ms(99, 1000, 1) + 100;
+  const TailPlan w1({&profile}, 1, 1000, 3000, 1000, horizon, {1});
+  const TailPlan w4({&profile}, 1, 1000, 3000, 1000, horizon, {4});
+  const BudgetMs t = horizon - 10;
+  EXPECT_EQ(w4.total_cost(0, t), 4 * w1.total_cost(0, t));
+}
+
+}  // namespace
+}  // namespace janus

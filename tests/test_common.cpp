@@ -1,0 +1,233 @@
+// Tests for src/common: RNG, thread pool, CSV, types.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace janus {
+namespace {
+
+// ---------------------------------------------------------------- types --
+TEST(Types, MsToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ms_to_s(1500), 1.5);
+  EXPECT_EQ(s_to_ms(1.5), 1500);
+  EXPECT_EQ(s_to_ms(ms_to_s(12345)), 12345);
+}
+
+TEST(Types, SToMsRounds) {
+  EXPECT_EQ(s_to_ms(0.0014), 1);
+  EXPECT_EQ(s_to_ms(0.0016), 2);
+}
+
+TEST(Types, RequireThrows) {
+  EXPECT_THROW(require(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(require(true, "fine"));
+}
+
+// ------------------------------------------------------------------ rng --
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng root(31);
+  Rng a = root.split(0);
+  Rng b = root.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng r1(37), r2(37);
+  Rng a = r1.split(5);
+  Rng b = r2.split(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(sm.next(), first);
+}
+
+// ---------------------------------------------------------- thread pool --
+TEST(ThreadPool, ExecutesSubmittedTask) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 42; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("x"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallel_for(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::logic_error("bad");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequested) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+// ------------------------------------------------------------------ csv --
+TEST(Csv, EncodeDecodeRoundTrip) {
+  CsvDoc doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"3", "4"}};
+  const CsvDoc back = csv_decode(csv_encode(doc));
+  EXPECT_EQ(back.header, doc.header);
+  EXPECT_EQ(back.rows, doc.rows);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes) {
+  CsvDoc doc;
+  doc.header = {"x"};
+  doc.rows = {{"hello, \"world\""}, {"line\nbreak"}};
+  const CsvDoc back = csv_decode(csv_encode(doc));
+  EXPECT_EQ(back.rows[0][0], "hello, \"world\"");
+  EXPECT_EQ(back.rows[1][0], "line\nbreak");
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvDoc doc;
+  doc.header = {"alpha", "beta"};
+  EXPECT_EQ(doc.column("beta"), 1u);
+  EXPECT_THROW(doc.column("gamma"), std::invalid_argument);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvDoc doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"only-one"}};
+  EXPECT_THROW(csv_encode(doc), std::invalid_argument);
+}
+
+TEST(Csv, EmptyDocumentDecodes) {
+  const CsvDoc doc = csv_decode("");
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(Csv, CrLfTolerated) {
+  const CsvDoc doc = csv_decode("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,164 @@
+// Tests for src/dag: workflow construction, validation, traversal,
+// sub-workflow extraction.
+#include <gtest/gtest.h>
+
+#include "dag/workflow.hpp"
+
+namespace janus {
+namespace {
+
+Workflow diamond() {
+  // a -> {b, c} -> d
+  Workflow wf("diamond");
+  const auto a = wf.add_function({"a", 0});
+  const auto b = wf.add_function({"b", 1});
+  const auto c = wf.add_function({"c", 2});
+  const auto d = wf.add_function({"d", 3});
+  wf.add_edge(a, b);
+  wf.add_edge(a, c);
+  wf.add_edge(b, d);
+  wf.add_edge(c, d);
+  return wf;
+}
+
+TEST(Workflow, ChainFactoryBuildsLinearGraph) {
+  const auto wf = Workflow::chain("ia", {{"OD", 0}, {"QA", 1}, {"TS", 2}});
+  EXPECT_EQ(wf.size(), 3u);
+  EXPECT_TRUE(wf.is_chain());
+  const auto order = wf.chain_order();
+  EXPECT_EQ(wf.function(order[0]).name, "OD");
+  EXPECT_EQ(wf.function(order[2]).name, "TS");
+}
+
+TEST(Workflow, EmptyChainThrows) {
+  EXPECT_THROW(Workflow::chain("x", {}), std::invalid_argument);
+}
+
+TEST(Workflow, SingleFunctionIsAChain) {
+  const auto wf = Workflow::chain("solo", {{"only", 0}});
+  EXPECT_TRUE(wf.is_chain());
+  EXPECT_EQ(wf.chain_order().size(), 1u);
+}
+
+TEST(Workflow, DiamondIsNotAChain) {
+  EXPECT_FALSE(diamond().is_chain());
+  EXPECT_THROW(diamond().chain_order(), std::invalid_argument);
+}
+
+TEST(Workflow, EdgeValidation) {
+  Workflow wf("w");
+  const auto a = wf.add_function({"a", 0});
+  const auto b = wf.add_function({"b", 1});
+  EXPECT_THROW(wf.add_edge(a, a), std::invalid_argument);   // self edge
+  EXPECT_THROW(wf.add_edge(a, 99), std::invalid_argument);  // out of range
+  wf.add_edge(a, b);
+  EXPECT_THROW(wf.add_edge(a, b), std::invalid_argument);  // duplicate
+}
+
+TEST(Workflow, TopologicalOrderRespectsEdges) {
+  const auto wf = diamond();
+  const auto order = wf.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = i;
+  }
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Workflow, CycleDetected) {
+  Workflow wf("cyclic");
+  const auto a = wf.add_function({"a", 0});
+  const auto b = wf.add_function({"b", 1});
+  wf.add_edge(a, b);
+  wf.add_edge(b, a);
+  EXPECT_THROW(wf.topological_order(), std::invalid_argument);
+}
+
+TEST(Workflow, SourcesAndSinks) {
+  const auto wf = diamond();
+  EXPECT_EQ(wf.sources(), std::vector<FunctionId>{0});
+  EXPECT_EQ(wf.sinks(), std::vector<FunctionId>{3});
+}
+
+TEST(Workflow, LevelsAssignParallelStages) {
+  const auto levels = diamond().levels();
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);  // b and c share a level: parallelizable
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(Workflow, RemainingAfterDropsFinished) {
+  const auto wf = Workflow::chain("c", {{"f1", 0}, {"f2", 1}, {"f3", 2}});
+  const auto remaining = wf.remaining_after({true, false, false});
+  EXPECT_EQ(remaining, (std::vector<FunctionId>{1, 2}));
+}
+
+TEST(Workflow, RemainingAfterSizeMismatchThrows) {
+  const auto wf = Workflow::chain("c", {{"f1", 0}, {"f2", 1}});
+  EXPECT_THROW(wf.remaining_after({true}), std::invalid_argument);
+}
+
+TEST(Workflow, RemainingAfterAllFinishedIsEmpty) {
+  const auto wf = Workflow::chain("c", {{"f1", 0}, {"f2", 1}});
+  EXPECT_TRUE(wf.remaining_after({true, true}).empty());
+}
+
+TEST(Workflow, PredecessorsAndSuccessors) {
+  const auto wf = diamond();
+  EXPECT_EQ(wf.successors(0).size(), 2u);
+  EXPECT_EQ(wf.predecessors(3).size(), 2u);
+  EXPECT_TRUE(wf.predecessors(0).empty());
+}
+
+TEST(Workflow, TwoSourcesNotAChain) {
+  Workflow wf("two-roots");
+  const auto a = wf.add_function({"a", 0});
+  const auto b = wf.add_function({"b", 1});
+  const auto c = wf.add_function({"c", 2});
+  wf.add_edge(a, c);
+  wf.add_edge(b, c);
+  EXPECT_FALSE(wf.is_chain());
+}
+
+TEST(CriticalPath, ChainSumsDurations) {
+  const auto wf = Workflow::chain("c", {{"f1", 0}, {"f2", 1}, {"f3", 2}});
+  EXPECT_DOUBLE_EQ(critical_path(wf, {1.0, 2.0, 3.0}), 6.0);
+}
+
+TEST(CriticalPath, DiamondTakesSlowerBranch) {
+  // a(1) -> b(5)/c(2) -> d(1): path through b dominates.
+  EXPECT_DOUBLE_EQ(critical_path(diamond(), {1.0, 5.0, 2.0, 1.0}), 7.0);
+}
+
+TEST(CriticalPath, SizeMismatchThrows) {
+  EXPECT_THROW(critical_path(diamond(), {1.0}), std::invalid_argument);
+}
+
+class ChainLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainLengthTest, ChainPropertiesHoldForAnyLength) {
+  const int n = GetParam();
+  std::vector<FunctionSpec> specs;
+  for (int i = 0; i < n; ++i) specs.push_back({"f" + std::to_string(i), i});
+  const auto wf = Workflow::chain("c", specs);
+  EXPECT_TRUE(wf.is_chain());
+  EXPECT_EQ(wf.chain_order().size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(wf.topological_order().size(), static_cast<std::size_t>(n));
+  const auto levels = wf.levels();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(wf.chain_order()[
+                  static_cast<std::size_t>(i)])],
+              i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainLengthTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,139 @@
+// Tests for src/exp: run-result aggregation, report rendering, and the
+// paired-draw contract of the experiment driver.
+#include <gtest/gtest.h>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "model/workloads.hpp"
+#include "policy/policy.hpp"
+
+namespace janus {
+namespace {
+
+RunResult synthetic_result() {
+  RunResult result;
+  result.policy_name = "test";
+  result.slo = 2.0;
+  for (int i = 1; i <= 10; ++i) {
+    RequestRecord r;
+    r.e2e = 0.2 * i;           // 0.2 .. 2.0
+    r.cpu_mc = 1000.0 * i;
+    r.violated = r.e2e > result.slo;
+    result.requests.push_back(r);
+  }
+  return result;
+}
+
+TEST(RunResult, MeanCpu) {
+  EXPECT_DOUBLE_EQ(synthetic_result().mean_cpu(), 5500.0);
+}
+
+TEST(RunResult, ViolationRate) {
+  auto result = synthetic_result();
+  EXPECT_DOUBLE_EQ(result.violation_rate(), 0.0);
+  result.requests[9].violated = true;
+  EXPECT_DOUBLE_EQ(result.violation_rate(), 0.1);
+}
+
+TEST(RunResult, PercentilesFromDistribution) {
+  const auto result = synthetic_result();
+  EXPECT_NEAR(result.e2e_percentile(50), 1.1, 1e-9);
+  EXPECT_DOUBLE_EQ(result.e2e_distribution().max(), 2.0);
+}
+
+TEST(RunResult, EmptySafe) {
+  RunResult result;
+  EXPECT_DOUBLE_EQ(result.mean_cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(result.violation_rate(), 0.0);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Report, TableAlignsColumns) {
+  const std::string out =
+      render_table({"a", "long-header"}, {{"xx", "1"}, {"y", "22"}});
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Each data row present.
+  EXPECT_NE(out.find("xx"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Report, TableRejectsRaggedRows) {
+  EXPECT_THROW(render_table({"a", "b"}, {{"only"}}), std::invalid_argument);
+}
+
+TEST(Report, SeriesFormat) {
+  const std::string out = render_series("t", {{1.0, 0.5}}, "x", "y");
+  EXPECT_NE(out.find("# t"), std::string::npos);
+  EXPECT_NE(out.find("1.0000 0.5000"), std::string::npos);
+}
+
+TEST(Report, BannerContainsText) {
+  EXPECT_NE(banner("hello").find("hello"), std::string::npos);
+}
+
+// ------------------------------------------------------ driver contracts --
+TEST(Runner, DrawsMatchChainLength) {
+  RunConfig config;
+  config.requests = 7;
+  const auto draws = draw_requests(make_ia(), config);
+  ASSERT_EQ(draws.size(), 7u);
+  for (const auto& d : draws) {
+    EXPECT_EQ(d.ws.size(), 3u);
+    EXPECT_EQ(d.interference.size(), 3u);
+    for (double i : d.interference) EXPECT_GE(i, 1.0);
+    for (double w : d.ws) EXPECT_GT(w, 0.0);
+  }
+}
+
+TEST(Runner, SeedChangesDraws) {
+  RunConfig a, b;
+  a.requests = b.requests = 3;
+  b.seed = a.seed + 1;
+  const auto da = draw_requests(make_ia(), a);
+  const auto db = draw_requests(make_ia(), b);
+  EXPECT_NE(da[0].ws, db[0].ws);
+}
+
+TEST(Runner, CustomColocationRespected) {
+  RunConfig config;
+  config.requests = 200;
+  config.colocation.weights = {1.0};  // always alone
+  config.colocation_is_default = false;
+  const auto draws = draw_requests(make_ia(), config);
+  for (const auto& d : draws) {
+    for (double i : d.interference) EXPECT_LT(i, 1.05);  // noise only
+  }
+}
+
+TEST(Runner, FixedPolicyRunProducesExactSizes) {
+  FixedSizingPolicy policy("fixed", {1100, 1200, 1300});
+  RunConfig config;
+  config.slo = 10.0;
+  config.requests = 5;
+  const RunResult result = run_workload(make_ia(), policy, config);
+  for (const auto& r : result.requests) {
+    EXPECT_EQ(r.sizes, (std::vector<Millicores>{1100, 1200, 1300}));
+    EXPECT_DOUBLE_EQ(r.cpu_mc, 3600.0);
+    EXPECT_FALSE(r.violated);  // 10 s SLO is unreachable by IA
+  }
+}
+
+TEST(Runner, RejectsBadConfig) {
+  FixedSizingPolicy policy("fixed", {1000, 1000, 1000});
+  RunConfig config;
+  config.slo = 0.0;
+  EXPECT_THROW(run_workload(make_ia(), policy, config),
+               std::invalid_argument);
+  config.slo = 1.0;
+  config.requests = 0;
+  EXPECT_THROW(run_workload(make_ia(), policy, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace janus

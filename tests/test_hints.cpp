@@ -1,0 +1,473 @@
+// Tests for src/hints: timeout/resilience metrics, the suffix DP, hints
+// generation (Algorithm 1) including its SLO-safety invariants, condensing
+// (Algorithm 2) and table lookup semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hints/condense.hpp"
+#include "hints/generator.hpp"
+#include "hints/metrics.hpp"
+#include "hints/table.hpp"
+#include "hints/tail_plan.hpp"
+#include "model/workloads.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus {
+namespace {
+
+/// Profiles IA once for the whole test binary (coarse grid for speed).
+class HintsTestBase : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ProfilerConfig config;
+    config.grid.kmin = 1000;
+    config.grid.kmax = 3000;
+    config.grid.kstep = 500;
+    config.samples_per_point = 1200;
+    config.interference = InterferenceModel(workload_interference_params());
+    profiles_ = new std::vector<LatencyProfile>(
+        profile_workload(make_ia(), config));
+  }
+  static void TearDownTestSuite() {
+    delete profiles_;
+    profiles_ = nullptr;
+  }
+
+  static SynthesisConfig fast_synthesis() {
+    SynthesisConfig config;
+    config.kmin = 1000;
+    config.kmax = 3000;
+    config.kstep = 500;
+    config.budget_step = 5;  // coarse grid keeps tests quick
+    config.threads = 2;
+    return config;
+  }
+
+  static const std::vector<LatencyProfile>& profiles() { return *profiles_; }
+
+ private:
+  static std::vector<LatencyProfile>* profiles_;
+};
+
+std::vector<LatencyProfile>* HintsTestBase::profiles_ = nullptr;
+
+// ---------------------------------------------------------------- metrics --
+class HintsMetricsTest : public HintsTestBase {};
+
+TEST_F(HintsMetricsTest, TimeoutZeroAtP99) {
+  for (Millicores k : {1000, 2000, 3000}) {
+    EXPECT_DOUBLE_EQ(timeout_metric(profiles()[0], 99, k, 1), 0.0);
+  }
+}
+
+TEST_F(HintsMetricsTest, TimeoutDecreasesWithPercentile) {
+  const auto& p = profiles()[2];  // TS, as in Fig 7a
+  EXPECT_GT(timeout_metric(p, 25, 2000, 1), timeout_metric(p, 50, 2000, 1));
+  EXPECT_GT(timeout_metric(p, 50, 2000, 1), timeout_metric(p, 75, 2000, 1));
+}
+
+TEST_F(HintsMetricsTest, TimeoutDecreasesWithCores) {
+  // Fig 7a: more resources shrink the worst-case gap.
+  const auto& p = profiles()[2];
+  EXPECT_GT(timeout_metric(p, 25, 1000, 1), timeout_metric(p, 25, 3000, 1));
+}
+
+TEST_F(HintsMetricsTest, ResilienceZeroAtKmax) {
+  EXPECT_DOUBLE_EQ(resilience_metric(profiles()[0], 99, 3000, 1, 3000), 0.0);
+}
+
+TEST_F(HintsMetricsTest, ResilienceDecreasesWithCores) {
+  // Fig 7b: marginal reduction as provisioned cores increase.
+  const auto& p = profiles()[2];
+  EXPECT_GT(resilience_metric(p, 99, 1000, 1, 3000),
+            resilience_metric(p, 99, 2000, 1, 3000));
+  EXPECT_GT(resilience_metric(p, 99, 2000, 1, 3000),
+            resilience_metric(p, 99, 2500, 1, 3000));
+}
+
+TEST_F(HintsMetricsTest, ResilienceNonNegative) {
+  for (Millicores k : {1000, 1500, 2000, 2500, 3000}) {
+    for (Percentile p : {1, 50, 99}) {
+      EXPECT_GE(resilience_metric(profiles()[1], p, k, 1, 3000), 0.0);
+    }
+  }
+}
+
+TEST_F(HintsMetricsTest, MsVariantsConsistent) {
+  const auto& p = profiles()[0];
+  EXPECT_NEAR(static_cast<double>(timeout_metric_ms(p, 50, 1500, 1)),
+              timeout_metric(p, 50, 1500, 1) * 1000.0, 2.0);
+}
+
+// --------------------------------------------------------------- TailPlan --
+class TailPlanTest : public HintsTestBase {
+ protected:
+  TailPlan make_plan(BudgetMs horizon = 8000) {
+    return TailPlan({&profiles()[0], &profiles()[1], &profiles()[2]}, 1, 1000,
+                    3000, 500, horizon);
+  }
+};
+
+TEST_F(TailPlanTest, FeasibilityMonotoneInBudget) {
+  const auto plan = make_plan();
+  for (std::size_t j = 0; j < 3; ++j) {
+    bool was_feasible = false;
+    for (BudgetMs t = 0; t <= plan.horizon(); t += 100) {
+      const bool now = plan.feasible(j, t);
+      if (was_feasible) {
+        EXPECT_TRUE(now) << "j=" << j << " t=" << t;
+      }
+      was_feasible = now;
+    }
+  }
+}
+
+TEST_F(TailPlanTest, CostNonIncreasingInBudget) {
+  const auto plan = make_plan();
+  for (std::size_t j = 0; j < 3; ++j) {
+    Millicores prev = 100000;
+    for (BudgetMs t = plan.min_feasible(j); t <= plan.horizon(); t += 50) {
+      const Millicores cur = plan.total_cost(j, t);
+      EXPECT_LE(cur, prev);
+      prev = cur;
+    }
+  }
+}
+
+TEST_F(TailPlanTest, AllocationMatchesCostAndBudget) {
+  const auto plan = make_plan();
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (BudgetMs t = plan.min_feasible(j) + 100; t <= plan.horizon();
+         t += 500) {
+      const auto alloc = plan.allocation(j, t);
+      ASSERT_EQ(alloc.size(), 3 - j);
+      Millicores total = 0;
+      BudgetMs latency = 0;
+      for (std::size_t i = 0; i < alloc.size(); ++i) {
+        total += alloc[i];
+        latency += profiles()[j + i].latency_ms(99, alloc[i], 1);
+      }
+      EXPECT_EQ(total, plan.total_cost(j, t));
+      EXPECT_LE(latency, t);  // the P99 plan fits the budget
+    }
+  }
+}
+
+TEST_F(TailPlanTest, ResilienceMatchesAllocation) {
+  const auto plan = make_plan();
+  const BudgetMs t = plan.min_feasible(0) + 1000;
+  const auto alloc = plan.allocation(0, t);
+  BudgetMs resilience = 0;
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    resilience += resilience_metric_ms(profiles()[i], 99, alloc[i], 1, 3000);
+  }
+  EXPECT_EQ(resilience, plan.resilience(0, t));
+}
+
+TEST_F(TailPlanTest, InfeasibleBudgetThrows) {
+  const auto plan = make_plan();
+  EXPECT_FALSE(plan.feasible(0, 0));
+  EXPECT_THROW(plan.total_cost(0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.allocation(0, 0), std::invalid_argument);
+}
+
+TEST_F(TailPlanTest, LargeBudgetUsesKmin) {
+  const auto plan = make_plan();
+  const auto alloc = plan.allocation(0, plan.horizon());
+  for (Millicores k : alloc) EXPECT_EQ(k, 1000);
+}
+
+TEST_F(TailPlanTest, TightBudgetUsesLargerSizes) {
+  const auto plan = make_plan();
+  const auto tight = plan.allocation(0, plan.min_feasible(0));
+  Millicores total = 0;
+  for (Millicores k : tight) total += k;
+  EXPECT_GT(total, 3000);  // forced above the all-Kmin floor
+}
+
+TEST_F(TailPlanTest, SuffixIndexOutOfRangeThrows) {
+  const auto plan = make_plan();
+  EXPECT_THROW(plan.total_cost(3, 1000), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- generator --
+class GeneratorTest : public HintsTestBase {};
+
+TEST_F(GeneratorTest, BudgetRangeFollowsEq3) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const auto [tmin, tmax] = gen.budget_range(0);
+  BudgetMs expect_min = 0, expect_max = 0;
+  for (const auto& p : profiles()) {
+    expect_min += p.latency_ms(1, 3000, 1);
+    expect_max += p.latency_ms(99, 1000, 1);
+  }
+  EXPECT_EQ(tmin, expect_min);
+  EXPECT_EQ(tmax, expect_max);
+}
+
+TEST_F(GeneratorTest, SingleFunctionUsesMinResource) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  // Suffix 2 is just TS: the hint must be the smallest size fitting at P99.
+  const BudgetMs t = profiles()[2].latency_ms(99, 2000, 1);
+  const RawHint hint = gen.solve_budget(2, t);
+  ASSERT_EQ(hint.sizes.size(), 1u);
+  EXPECT_LE(profiles()[2].latency_ms(99, hint.sizes[0], 1), t);
+  if (hint.sizes[0] > 1000) {
+    EXPECT_GT(profiles()[2].latency_ms(99, hint.sizes[0] - 500, 1), t);
+  }
+  EXPECT_EQ(hint.head_percentile, 99);
+}
+
+TEST_F(GeneratorTest, InfeasibleBudgetYieldsEmptyHint) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  EXPECT_TRUE(gen.solve_budget(0, 1).sizes.empty());
+}
+
+TEST_F(GeneratorTest, HintSatisfiesBudgetConstraintEq5) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  for (BudgetMs t : {2500, 3000, 3500, 4000}) {
+    const RawHint hint = gen.solve_budget(0, t);
+    ASSERT_EQ(hint.sizes.size(), 3u) << "t=" << t;
+    BudgetMs total = profiles()[0].latency_ms(hint.head_percentile,
+                                              hint.sizes[0], 1);
+    for (std::size_t i = 1; i < 3; ++i) {
+      total += profiles()[i].latency_ms(99, hint.sizes[i], 1);
+    }
+    EXPECT_LE(total, t);
+  }
+}
+
+TEST_F(GeneratorTest, HintSatisfiesResilienceGuardEq6) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  for (BudgetMs t : {2500, 3000, 3500, 4500}) {
+    const RawHint hint = gen.solve_budget(0, t);
+    ASSERT_FALSE(hint.sizes.empty());
+    const BudgetMs d = timeout_metric_ms(profiles()[0], hint.head_percentile,
+                                         hint.sizes[0], 1);
+    BudgetMs r = 0;
+    for (std::size_t i = 1; i < 3; ++i) {
+      r += resilience_metric_ms(profiles()[i], 99, hint.sizes[i], 1, 3000);
+    }
+    EXPECT_LE(d, r) << "t=" << t;
+  }
+}
+
+TEST_F(GeneratorTest, FixedP99NeverExploresLowerPercentiles) {
+  auto config = fast_synthesis();
+  config.exploration = Exploration::FixedP99;
+  const HintsGenerator gen(profiles(), config);
+  for (BudgetMs t : {2500, 3500, 4500}) {
+    const RawHint hint = gen.solve_budget(0, t);
+    EXPECT_EQ(hint.head_percentile, 99);
+  }
+}
+
+TEST_F(GeneratorTest, HeadOnlyExploresLowerPercentilesSomewhere) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  bool found_lower = false;
+  for (BudgetMs t = 2000; t <= 5000 && !found_lower; t += 100) {
+    const RawHint hint = gen.solve_budget(0, t);
+    if (!hint.sizes.empty() && hint.head_percentile < 99) found_lower = true;
+  }
+  EXPECT_TRUE(found_lower);
+}
+
+TEST_F(GeneratorTest, ExpectedCostNoWorseThanJanusMinus) {
+  auto fixed = fast_synthesis();
+  fixed.exploration = Exploration::FixedP99;
+  const HintsGenerator gen_fixed(profiles(), fixed);
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  for (BudgetMs t : {2600, 3200, 3800, 4400}) {
+    const RawHint a = gen.solve_budget(0, t);
+    const RawHint b = gen_fixed.solve_budget(0, t);
+    if (a.sizes.empty() || b.sizes.empty()) continue;
+    EXPECT_LE(a.expected_cost, b.expected_cost + 1e-9) << "t=" << t;
+  }
+}
+
+TEST_F(GeneratorTest, WeightShrinksHeadSizeOrPercentile) {
+  // Table II: higher weight -> smaller head CPU and lower percentile.
+  auto w1 = fast_synthesis();
+  auto w3 = fast_synthesis();
+  w3.weight = 3.0;
+  const HintsGenerator gen1(profiles(), w1);
+  const HintsGenerator gen3(profiles(), w3);
+  double head1 = 0.0, head3 = 0.0, perc1 = 0.0, perc3 = 0.0;
+  int n = 0;
+  for (BudgetMs t = 2600; t <= 4600; t += 200) {
+    const RawHint a = gen1.solve_budget(0, t);
+    const RawHint b = gen3.solve_budget(0, t);
+    if (a.sizes.empty() || b.sizes.empty()) continue;
+    head1 += a.sizes[0];
+    head3 += b.sizes[0];
+    perc1 += a.head_percentile;
+    perc3 += b.head_percentile;
+    ++n;
+  }
+  ASSERT_GT(n, 3);
+  EXPECT_LE(head3, head1);
+  EXPECT_LE(perc3, perc1);
+}
+
+TEST_F(GeneratorTest, JanusPlusProbesFarMore) {
+  auto plus = fast_synthesis();
+  plus.exploration = Exploration::HeadAndNext;
+  plus.budget_step = 50;
+  auto base = fast_synthesis();
+  base.budget_step = 50;
+  HintsGenerator gen(profiles(), base);
+  HintsGenerator gen_plus(profiles(), plus);
+  (void)gen.generate_suffix(0);
+  (void)gen_plus.generate_suffix(0);
+  EXPECT_GT(gen_plus.probes(), gen.probes() * 3);
+}
+
+TEST_F(GeneratorTest, JanusPlusCostNoWorseThanJanus) {
+  auto plus = fast_synthesis();
+  plus.exploration = Exploration::HeadAndNext;
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const HintsGenerator gen_plus(profiles(), plus);
+  for (BudgetMs t : {3000, 4000}) {
+    const RawHint a = gen.solve_budget(0, t);
+    const RawHint b = gen_plus.solve_budget(0, t);
+    if (a.sizes.empty() || b.sizes.empty()) continue;
+    EXPECT_LE(b.expected_cost, a.expected_cost + 1e-9);
+  }
+}
+
+TEST_F(GeneratorTest, GenerateSuffixCoversFeasibleRange) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const SuffixHints raw = gen.generate_suffix(0);
+  ASSERT_FALSE(raw.hints.empty());
+  EXPECT_GE(raw.feasible_from, raw.tmin);
+  // Hints are ascending on the step grid; the final hint pins Tmax exactly.
+  for (std::size_t i = 1; i < raw.hints.size(); ++i) {
+    const BudgetMs gap = raw.hints[i].budget - raw.hints[i - 1].budget;
+    EXPECT_GE(gap, 1);
+    EXPECT_LE(gap, 5);
+  }
+  EXPECT_EQ(raw.hints.back().budget, raw.tmax);
+}
+
+TEST_F(GeneratorTest, HeadSizeShrinksWithBudgetOverall) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const SuffixHints raw = gen.generate_suffix(0);
+  EXPECT_GT(raw.hints.front().sizes[0], raw.hints.back().sizes[0]);
+  EXPECT_EQ(raw.hints.back().sizes[0], 1000);  // loose budget -> Kmin
+}
+
+TEST_F(GeneratorTest, ValidationRejectsBadConfig) {
+  auto config = fast_synthesis();
+  config.weight = 0.5;
+  EXPECT_THROW(HintsGenerator(profiles(), config), std::invalid_argument);
+  config = fast_synthesis();
+  config.head_percentiles = {0};
+  EXPECT_THROW(HintsGenerator(profiles(), config), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- condense --
+class CondenseTest : public HintsTestBase {};
+
+TEST_F(CondenseTest, LosslessHeadSizes) {
+  // The paper: "outstanding compression ratio without hurting accuracy".
+  // Every raw budget must look up to exactly its raw head size.
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const SuffixHints raw = gen.generate_suffix(0);
+  const HintsTable table = condense_hints(raw);
+  for (const auto& hint : raw.hints) {
+    const auto result = table.lookup(hint.budget);
+    EXPECT_EQ(result.kind, HintsTable::LookupKind::Hit);
+    EXPECT_EQ(result.size, hint.sizes[0]) << "budget=" << hint.budget;
+  }
+}
+
+TEST_F(CondenseTest, SignificantCompression) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const SuffixHints raw = gen.generate_suffix(0);
+  const HintsTable table = condense_hints(raw);
+  EXPECT_LT(table.size(), raw.hints.size() / 5);
+  EXPECT_GT(compression_ratio(raw.hints.size(), table.size()), 0.8);
+}
+
+TEST_F(CondenseTest, LookupBelowRangeMisses) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const HintsTable table = condense_hints(gen.generate_suffix(0));
+  const auto result = table.lookup(table.min_budget() - 10);
+  EXPECT_EQ(result.kind, HintsTable::LookupKind::Miss);
+}
+
+TEST_F(CondenseTest, LookupAboveRangeClampsToCheapest) {
+  const HintsGenerator gen(profiles(), fast_synthesis());
+  const HintsTable table = condense_hints(gen.generate_suffix(0));
+  const auto result = table.lookup(table.max_budget() + 100000);
+  EXPECT_EQ(result.kind, HintsTable::LookupKind::ClampedHigh);
+  EXPECT_EQ(result.size, table.entries().back().size);
+}
+
+TEST_F(CondenseTest, EmptyRawGivesEmptyTable) {
+  const HintsTable table = condense_hints(SuffixHints{});
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.lookup(1000).kind, HintsTable::LookupKind::Miss);
+}
+
+TEST_F(CondenseTest, CompressionRatioEdgeCases) {
+  EXPECT_DOUBLE_EQ(compression_ratio(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(100, 1), 0.99);
+}
+
+TEST(HintsTable, RejectsOverlappingEntries) {
+  EXPECT_THROW(HintsTable({{0, 10, 1000}, {5, 20, 2000}}),
+               std::invalid_argument);
+}
+
+TEST(HintsTable, RejectsInvertedRange) {
+  EXPECT_THROW(HintsTable({{10, 5, 1000}}), std::invalid_argument);
+}
+
+TEST(HintsTable, CsvRoundTrip) {
+  const HintsTable table({{100, 200, 3000}, {201, 500, 1500}});
+  const HintsTable back = HintsTable::from_csv(table.to_csv());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.lookup(150).size, 3000);
+  EXPECT_EQ(back.lookup(300).size, 1500);
+}
+
+TEST(HintsTable, GapBetweenEntriesMisses) {
+  const HintsTable table({{100, 200, 3000}, {300, 400, 1500}});
+  EXPECT_EQ(table.lookup(250).kind, HintsTable::LookupKind::Miss);
+  EXPECT_EQ(table.lookup(100).kind, HintsTable::LookupKind::Hit);
+  EXPECT_EQ(table.lookup(200).kind, HintsTable::LookupKind::Hit);
+}
+
+// ----------------------------------------------------------------- bundle --
+class BundleTest : public HintsTestBase {};
+
+TEST_F(BundleTest, OneTablePerSuffix) {
+  const HintsBundle bundle = synthesize_bundle(profiles(), fast_synthesis());
+  EXPECT_EQ(bundle.suffix_tables.size(), 3u);
+  EXPECT_GT(bundle.total_entries(), 0u);
+  EXPECT_GT(bundle.stats.raw_hints, bundle.stats.condensed_hints);
+  EXPECT_GT(bundle.stats.elapsed_s, 0.0);
+  EXPECT_GT(bundle.stats.probes, 0u);
+}
+
+TEST_F(BundleTest, MemoryFootprintSmall) {
+  // §V-H reports ~12 MB; condensed tables should be far below that.
+  const HintsBundle bundle = synthesize_bundle(profiles(), fast_synthesis());
+  EXPECT_LT(bundle.memory_bytes(), 1u << 20);
+}
+
+TEST_F(BundleTest, HigherWeightFewerHints) {
+  // Fig 8: hint-table sizes decrease as the weight increases.
+  auto w1 = fast_synthesis();
+  auto w3 = fast_synthesis();
+  w3.weight = 3.0;
+  const auto b1 = synthesize_bundle(profiles(), w1);
+  const auto b3 = synthesize_bundle(profiles(), w3);
+  EXPECT_LE(b3.total_entries(), b1.total_entries() * 1.3);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,244 @@
+// Integration tests: the full profile -> synthesize -> adapt -> serve
+// pipeline, cross-policy orderings from the paper, miss-driven
+// regeneration, and open-loop/endogenous operation of the DES.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "model/workloads.hpp"
+#include "policy/early_binding.hpp"
+#include "policy/janus_policy.hpp"
+#include "policy/optimal.hpp"
+#include "policy/orion.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ia_ = new WorkloadSpec(make_ia());
+    ProfilerConfig config;
+    config.grid.kmin = 1000;
+    config.grid.kmax = 3000;
+    config.grid.kstep = 250;
+    config.samples_per_point = 1500;
+    config.interference = InterferenceModel(workload_interference_params());
+    profiles_ = new std::vector<LatencyProfile>(
+        profile_workload(*ia_, config));
+  }
+  static void TearDownTestSuite() {
+    delete profiles_;
+    delete ia_;
+    profiles_ = nullptr;
+    ia_ = nullptr;
+  }
+
+  static const WorkloadSpec& ia() { return *ia_; }
+  static const std::vector<LatencyProfile>& profiles() { return *profiles_; }
+
+  static SynthesisConfig synth() {
+    SynthesisConfig config;
+    config.kstep = 250;
+    config.budget_step = 2;
+    config.threads = 2;
+    return config;
+  }
+
+  static RunConfig run_config(int requests = 400) {
+    RunConfig config;
+    config.slo = 3.0;
+    config.requests = requests;
+    return config;
+  }
+
+ private:
+  static WorkloadSpec* ia_;
+  static std::vector<LatencyProfile>* profiles_;
+};
+
+WorkloadSpec* IntegrationTest::ia_ = nullptr;
+std::vector<LatencyProfile>* IntegrationTest::profiles_ = nullptr;
+
+TEST_F(IntegrationTest, JanusMeetsSloNearP99) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  const RunResult result = run_workload(ia(), *policy, run_config());
+  // P99 latency target: allow the small sampling band around 1%.
+  EXPECT_LE(result.violation_rate(), 0.025);
+  EXPECT_LE(result.e2e_percentile(97.0), 3.0);
+}
+
+TEST_F(IntegrationTest, ResourceOrderingMatchesPaper) {
+  // Table I / Fig 5: Optimal <= Janus < ORION < GrandSLAM-family.
+  EarlyBindingInputs eb;
+  eb.profiles = &profiles();
+  eb.slo = 3.0;
+  eb.kstep = 250;
+  OptimalInputs opt;
+  opt.models = ia().chain_models();
+  opt.slo = 3.0;
+
+  auto optimal = make_optimal(opt);
+  auto janus_policy = make_janus(profiles(), synth(), 3.0);
+  auto orion = make_orion(eb);
+  auto grandslam = make_grandslam(eb);
+
+  const RunConfig config = run_config();
+  const double cpu_optimal = run_workload(ia(), *optimal, config).mean_cpu();
+  const double cpu_janus =
+      run_workload(ia(), *janus_policy, config).mean_cpu();
+  const double cpu_orion = run_workload(ia(), *orion, config).mean_cpu();
+  const double cpu_gs = run_workload(ia(), *grandslam, config).mean_cpu();
+
+  EXPECT_LE(cpu_optimal, cpu_janus);
+  EXPECT_LT(cpu_janus, cpu_orion);
+  EXPECT_LE(cpu_orion, cpu_gs);
+  // Headline effect: double-digit savings versus the state of the art.
+  EXPECT_GT((cpu_orion - cpu_janus) / cpu_orion, 0.10);
+}
+
+TEST_F(IntegrationTest, JanusMinusCostsMoreThanJanus) {
+  auto janus_policy = make_janus(profiles(), synth(), 3.0);
+  auto janus_minus =
+      make_janus(profiles(), synth(), 3.0, Exploration::FixedP99);
+  const RunConfig config = run_config();
+  const double cpu = run_workload(ia(), *janus_policy, config).mean_cpu();
+  const double cpu_minus =
+      run_workload(ia(), *janus_minus, config).mean_cpu();
+  EXPECT_LE(cpu, cpu_minus * 1.005);
+}
+
+TEST_F(IntegrationTest, AdapterHitRateHighInSteadyState) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  (void)run_workload(ia(), *policy, run_config());
+  const auto& stats = policy->adapter().stats();
+  EXPECT_GT(stats.lookups(), 0u);
+  // Default miss threshold is 1%; in-distribution traffic stays under it.
+  EXPECT_LT(stats.miss_rate(), 0.01);
+  EXPECT_FALSE(policy->adapter().regeneration_suggested());
+}
+
+TEST_F(IntegrationTest, DistributionShiftTriggersRegenerationFeedback) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  bool feedback = false;
+  policy->adapter().set_feedback([&](double) { feedback = true; });
+
+  // Unexpected dynamics: a much harsher interference regime than profiled.
+  RunConfig config = run_config(300);
+  InterferenceParams harsh = workload_interference_params();
+  harsh.slope_cpu *= 14.0;
+  harsh.slope_memory *= 14.0;
+  harsh.slope_io *= 14.0;
+  harsh.slope_network *= 14.0;
+  config.interference = InterferenceModel(harsh);
+
+  const RunResult result = run_workload(ia(), *policy, config);
+  EXPECT_GT(policy->adapter().stats().miss_rate(), 0.01);
+  EXPECT_TRUE(policy->adapter().regeneration_suggested());
+  EXPECT_TRUE(feedback);
+  (void)result;
+}
+
+TEST_F(IntegrationTest, RegenerationRestoresHitRate) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  // Simulate the asynchronous regeneration round trip: reinstall a fresh
+  // bundle, stats reset, and in-distribution traffic hits again.
+  policy->adapter().install_bundle(synthesize_bundle(profiles(), synth()));
+  (void)run_workload(ia(), *policy, run_config(100));
+  EXPECT_LT(policy->adapter().stats().miss_rate(), 0.01);
+}
+
+TEST_F(IntegrationTest, PairedDrawsIdenticalAcrossPolicies) {
+  const RunConfig config = run_config(50);
+  const auto a = draw_requests(ia(), config);
+  const auto b = draw_requests(ia(), config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ws, b[i].ws);
+    EXPECT_EQ(a[i].interference, b[i].interference);
+  }
+}
+
+TEST_F(IntegrationTest, RunResultAccountsEveryRequest) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  const RunResult result = run_workload(ia(), *policy, run_config(123));
+  EXPECT_EQ(result.requests.size(), 123u);
+  for (const auto& r : result.requests) {
+    EXPECT_EQ(r.sizes.size(), 3u);
+    EXPECT_GT(r.e2e, 0.0);
+    EXPECT_GE(r.cpu_mc, 3.0 * 1000);
+    EXPECT_LE(r.cpu_mc, 3.0 * 3000);
+  }
+}
+
+TEST_F(IntegrationTest, OpenLoopCompletesAllRequests) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  RunConfig config = run_config(200);
+  config.open_loop_rate = 5.0;  // ~5 rps with multi-second services: overlap
+  const RunResult result = run_workload(ia(), *policy, config);
+  EXPECT_EQ(result.requests.size(), 200u);
+}
+
+TEST_F(IntegrationTest, EndogenousInterferenceMode) {
+  auto policy = make_janus(profiles(), synth(), 3.0);
+  RunConfig config = run_config(100);
+  config.open_loop_rate = 8.0;
+  config.endogenous_interference = true;
+  const RunResult result = run_workload(ia(), *policy, config);
+  EXPECT_EQ(result.requests.size(), 100u);
+  // Co-located executions must have inflated at least some requests.
+  double max_e2e = 0.0;
+  for (const auto& r : result.requests) max_e2e = std::max(max_e2e, r.e2e);
+  EXPECT_GT(max_e2e, 0.5);
+}
+
+TEST_F(IntegrationTest, VaPipelineEndToEnd) {
+  const WorkloadSpec va = make_va();
+  ProfilerConfig pconfig;
+  pconfig.grid.kstep = 250;
+  pconfig.samples_per_point = 1200;
+  pconfig.interference = InterferenceModel(workload_interference_params());
+  const auto va_profiles = profile_workload(va, pconfig);
+  SynthesisConfig sconfig = synth();
+  sconfig.kstep = 250;
+  auto policy = make_janus(va_profiles, sconfig, va.slo(1));
+  RunConfig config;
+  config.slo = va.slo(1);
+  config.requests = 300;
+  const RunResult result = run_workload(va, *policy, config);
+  EXPECT_LE(result.violation_rate(), 0.03);
+  EXPECT_GE(result.mean_cpu(), 3000.0);
+}
+
+TEST_F(IntegrationTest, HigherConcurrencyPipeline) {
+  ProfilerConfig pconfig;
+  pconfig.grid.kstep = 250;
+  pconfig.samples_per_point = 1500;
+  pconfig.grid.concurrencies = {2};
+  pconfig.interference = InterferenceModel(workload_interference_params());
+  const auto p2 = profile_workload(ia(), pconfig);
+  SynthesisConfig sconfig = synth();
+  sconfig.concurrency = 2;
+  auto policy = make_janus(p2, sconfig, ia().slo(2));
+  RunConfig config;
+  config.slo = ia().slo(2);
+  config.concurrency = 2;
+  config.requests = 300;
+  const RunResult result = run_workload(ia(), *policy, config);
+  EXPECT_LE(result.violation_rate(), 0.03);
+}
+
+TEST_F(IntegrationTest, DeterministicEndToEnd) {
+  auto p1 = make_janus(profiles(), synth(), 3.0);
+  auto p2 = make_janus(profiles(), synth(), 3.0);
+  const RunResult a = run_workload(ia(), *p1, run_config(60));
+  const RunResult b = run_workload(ia(), *p2, run_config(60));
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].e2e, b.requests[i].e2e);
+    EXPECT_DOUBLE_EQ(a.requests[i].cpu_mc, b.requests[i].cpu_mc);
+  }
+}
+
+}  // namespace
+}  // namespace janus

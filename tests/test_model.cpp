@@ -1,0 +1,292 @@
+// Tests for src/model: latency model shape, interference calibration,
+// workload catalog dispersion, trace synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/function_model.hpp"
+#include "model/interference.hpp"
+#include "model/trace_synth.hpp"
+#include "model/workloads.hpp"
+#include "stats/empirical.hpp"
+
+namespace janus {
+namespace {
+
+FunctionModel basic_model() {
+  FunctionModelParams p;
+  p.name = "f";
+  p.serial_s = 0.1;
+  p.work_s = 0.5;
+  p.ws_sigma = 0.3;
+  return FunctionModel(p);
+}
+
+// -------------------------------------------------------- FunctionModel --
+TEST(FunctionModel, ExecTimeDecreasesWithCores) {
+  const auto m = basic_model();
+  double prev = 1e9;
+  for (Millicores k = 1000; k <= 3000; k += 500) {
+    const double t = m.exec_time(k, 1, 1.0, 1.0);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(FunctionModel, DiminishingReturnsFromSerialFraction) {
+  const auto m = basic_model();
+  const double gain_low = m.exec_time(1000, 1, 1.0, 1.0) -
+                          m.exec_time(2000, 1, 1.0, 1.0);
+  const double gain_high = m.exec_time(2000, 1, 1.0, 1.0) -
+                           m.exec_time(3000, 1, 1.0, 1.0);
+  EXPECT_GT(gain_low, gain_high);  // Fig 7b flattening
+}
+
+TEST(FunctionModel, ExecTimeScalesWithWorkingSet) {
+  const auto m = basic_model();
+  EXPECT_GT(m.exec_time(2000, 1, 2.0, 1.0), m.exec_time(2000, 1, 1.0, 1.0));
+}
+
+TEST(FunctionModel, ExecTimeScalesWithInterference) {
+  const auto m = basic_model();
+  EXPECT_DOUBLE_EQ(m.exec_time(1000, 1, 1.0, 2.0),
+                   2.0 * m.exec_time(1000, 1, 1.0, 1.0));
+}
+
+TEST(FunctionModel, BatchGrowsSerialAndWork) {
+  const auto m = basic_model();
+  EXPECT_GT(m.serial(2), m.serial(1));
+  EXPECT_GT(m.work(3), m.work(2));
+  EXPECT_GT(m.ws_sigma(2), m.ws_sigma(1));
+}
+
+TEST(FunctionModel, WsQuantileMedianIsOne) {
+  const auto m = basic_model();
+  EXPECT_NEAR(m.ws_quantile(1, 0.5), 1.0, 1e-9);
+  EXPECT_GT(m.ws_quantile(1, 0.99), 1.0);
+  EXPECT_LT(m.ws_quantile(1, 0.01), 1.0);
+}
+
+TEST(FunctionModel, WsSampleMatchesQuantiles) {
+  const auto m = basic_model();
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) xs.push_back(m.sample_ws(1, rng));
+  EmpiricalDistribution d(std::move(xs));
+  EXPECT_NEAR(d.percentile(50), m.ws_quantile(1, 0.5), 0.02);
+  EXPECT_NEAR(d.percentile(99), m.ws_quantile(1, 0.99),
+              m.ws_quantile(1, 0.99) * 0.05);
+}
+
+TEST(FunctionModel, InvalidArgsThrow) {
+  const auto m = basic_model();
+  EXPECT_THROW(m.exec_time(0, 1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.exec_time(1000, 1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.exec_time(1000, 1, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(m.serial(0), std::invalid_argument);
+}
+
+TEST(FunctionModel, RejectsBadParams) {
+  FunctionModelParams p;
+  p.work_s = 0.0;
+  EXPECT_THROW(FunctionModel{p}, std::invalid_argument);
+}
+
+// --------------------------------------------------------- interference --
+TEST(Interference, AloneMeansNoSlowdown) {
+  const InterferenceModel m;
+  EXPECT_DOUBLE_EQ(m.mean_multiplier(ResourceDim::Network, 1), 1.0);
+}
+
+TEST(Interference, Fig1cOrderingAtSixInstances) {
+  // Fig 1c: network > memory > IO > CPU; peak ~8.1x.
+  const InterferenceModel m;
+  const double net = m.mean_multiplier(ResourceDim::Network, 6);
+  const double mem = m.mean_multiplier(ResourceDim::Memory, 6);
+  const double io = m.mean_multiplier(ResourceDim::Io, 6);
+  const double cpu = m.mean_multiplier(ResourceDim::Cpu, 6);
+  EXPECT_GT(net, mem);
+  EXPECT_GT(mem, io);
+  EXPECT_GT(io, cpu);
+  EXPECT_NEAR(net, 8.1, 0.3);
+  EXPECT_LT(cpu, 2.0);
+}
+
+TEST(Interference, SampleAtLeastOne) {
+  const InterferenceModel m;
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(m.sample_multiplier(ResourceDim::Memory, 3, rng), 1.0);
+  }
+}
+
+TEST(Interference, SampleMeanTracksDeterministicCurve) {
+  const InterferenceModel m;
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += m.sample_multiplier(ResourceDim::Io, 4, rng);
+  }
+  // Lognormal jitter has mean exp(sigma^2/2) ~ 1.005; allow 3%.
+  EXPECT_NEAR(sum / n, m.mean_multiplier(ResourceDim::Io, 4),
+              m.mean_multiplier(ResourceDim::Io, 4) * 0.03);
+}
+
+TEST(Interference, RejectsZeroColocation) {
+  const InterferenceModel m;
+  EXPECT_THROW(m.mean_multiplier(ResourceDim::Cpu, 0), std::invalid_argument);
+}
+
+TEST(Interference, ToStringNames) {
+  EXPECT_STREQ(to_string(ResourceDim::Cpu), "CPU");
+  EXPECT_STREQ(to_string(ResourceDim::Network), "Network");
+}
+
+TEST(CoLocation, SampleWithinSupport) {
+  CoLocationDistribution d;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const int n = d.sample(rng);
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, static_cast<int>(d.weights.size()));
+  }
+}
+
+TEST(CoLocation, HigherConcurrencyPacksMore) {
+  const auto c1 = CoLocationDistribution::for_concurrency(1);
+  const auto c3 = CoLocationDistribution::for_concurrency(3);
+  EXPECT_GT(c3.mean(), c1.mean());
+}
+
+TEST(CoLocation, MeanMatchesWeights) {
+  CoLocationDistribution d;
+  d.weights = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(d.mean(), 1.5);
+}
+
+// ------------------------------------------------------------ workloads --
+TEST(Workloads, IaIsThreeFunctionChain) {
+  const auto ia = make_ia();
+  EXPECT_TRUE(ia.workflow.is_chain());
+  EXPECT_EQ(ia.models.size(), 3u);
+  EXPECT_EQ(ia.chain_models()[0].name(), "OD");
+  EXPECT_EQ(ia.chain_models()[2].name(), "TS");
+  EXPECT_DOUBLE_EQ(ia.slo(1), 3.0);
+  EXPECT_DOUBLE_EQ(ia.slo(2), 4.0);
+  EXPECT_DOUBLE_EQ(ia.slo(3), 5.0);
+}
+
+TEST(Workloads, VaNonBatchableFunctions) {
+  const auto va = make_va();
+  EXPECT_FALSE(va.chain_models()[0].batchable());  // FE
+  EXPECT_TRUE(va.chain_models()[1].batchable());   // ICL
+  EXPECT_FALSE(va.chain_models()[2].batchable());  // ICO
+  EXPECT_EQ(va.max_concurrency, 1);
+  EXPECT_DOUBLE_EQ(va.slo(1), 1.5);
+}
+
+TEST(Workloads, SloOutOfRangeThrows) {
+  const auto va = make_va();
+  EXPECT_THROW(va.slo(2), std::invalid_argument);
+}
+
+TEST(Workloads, QaDispersionMatchesPaper) {
+  // QA P99/P50 = 2.17 at conc 1 and ~2.32 at conc 2 (§V-A).
+  const auto qa = make_ia().chain_models()[1];
+  const double r1 = qa.ws_quantile(1, 0.99) / qa.ws_quantile(1, 0.5);
+  const double r2 = qa.ws_quantile(2, 0.99) / qa.ws_quantile(2, 0.5);
+  EXPECT_NEAR(r1, 2.17, 0.02);
+  EXPECT_NEAR(r2, 2.32, 0.06);
+}
+
+TEST(Workloads, VaDispersionMatchesPaper) {
+  // VA P99/P50 per function: 1.46 / 1.56 / 1.37 (§V-A).
+  const auto models = make_va().chain_models();
+  const double expected[] = {1.46, 1.56, 1.37};
+  for (int i = 0; i < 3; ++i) {
+    const double r = models[static_cast<std::size_t>(i)].ws_quantile(1, 0.99) /
+                     models[static_cast<std::size_t>(i)].ws_quantile(1, 0.5);
+    EXPECT_NEAR(r, expected[i], 0.02) << "function " << i;
+  }
+}
+
+TEST(Workloads, MicroFunctionsCoverAllDims) {
+  for (auto dim : {ResourceDim::Cpu, ResourceDim::Memory, ResourceDim::Io,
+                   ResourceDim::Network}) {
+    const auto m = make_micro_function(dim);
+    EXPECT_EQ(m.dim(), dim);
+    EXPECT_FALSE(m.name().empty());
+  }
+}
+
+TEST(Workloads, ModelOfResolvesIndices) {
+  const auto ia = make_ia();
+  const auto order = ia.workflow.chain_order();
+  EXPECT_EQ(ia.model_of(order[1]).name(), "QA");
+}
+
+// ------------------------------------------------------------ trace --
+TEST(TraceSynth, SlackMostlyLarge) {
+  TraceSynthConfig cfg;
+  cfg.num_invocations = 30000;
+  cfg.num_functions = 500;
+  const auto trace = synthesize_trace(cfg);
+  EmpiricalDistribution slacks(trace.all_slacks());
+  // Fig 1a: more than 60% of invocations have slack over 0.6.
+  EXPECT_GT(slacks.fraction_above(0.6), 0.60);
+}
+
+TEST(TraceSynth, PopularFunctionsDominateInvocations) {
+  TraceSynthConfig cfg;
+  cfg.num_invocations = 30000;
+  const auto trace = synthesize_trace(cfg);
+  // Paper: top-100 functions account for 81.6% of invocations.
+  EXPECT_GT(trace.popular_fraction(), 0.55);
+}
+
+TEST(TraceSynth, PopularSlackLessExtreme) {
+  TraceSynthConfig cfg;
+  cfg.num_invocations = 40000;
+  const auto trace = synthesize_trace(cfg);
+  EmpiricalDistribution all(trace.all_slacks());
+  EmpiricalDistribution popular(trace.popular_slacks());
+  // The popular curve sits left of the overall curve (Fig 1a).
+  EXPECT_LT(popular.percentile(50), all.percentile(50) + 0.05);
+}
+
+TEST(TraceSynth, DeterministicForSeed) {
+  TraceSynthConfig cfg;
+  cfg.num_invocations = 1000;
+  const auto a = synthesize_trace(cfg);
+  const auto b = synthesize_trace(cfg);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].slack, b.samples[i].slack);
+  }
+}
+
+TEST(TraceSynth, SlackClampedToUnitInterval) {
+  TraceSynthConfig cfg;
+  cfg.num_invocations = 5000;
+  for (const auto& s : synthesize_trace(cfg).samples) {
+    EXPECT_GE(s.slack, 0.0);
+    EXPECT_LE(s.slack, 1.0);
+  }
+}
+
+class BatchDispersionTest : public ::testing::TestWithParam<Concurrency> {};
+
+TEST_P(BatchDispersionTest, DispersionGrowsWithBatch) {
+  const auto qa = make_ia().chain_models()[1];
+  const Concurrency c = GetParam();
+  const double r_now = qa.ws_quantile(c, 0.99) / qa.ws_quantile(c, 0.5);
+  const double r_next = qa.ws_quantile(c + 1, 0.99) / qa.ws_quantile(c + 1, 0.5);
+  EXPECT_GT(r_next, r_now);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrencies, BatchDispersionTest,
+                         ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,321 @@
+// Tests for src/policy: fixed sizing, GrandSLAM(+), ORION, the Optimal
+// water-filling oracle, and the Janus policy wiring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/workloads.hpp"
+#include "policy/early_binding.hpp"
+#include "policy/janus_policy.hpp"
+#include "policy/optimal.hpp"
+#include "policy/orion.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus {
+namespace {
+
+class PolicyTestBase : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ProfilerConfig config;
+    config.grid.kmin = 1000;
+    config.grid.kmax = 3000;
+    config.grid.kstep = 500;
+    config.samples_per_point = 1200;
+    config.interference = InterferenceModel(workload_interference_params());
+    profiles_ = new std::vector<LatencyProfile>(
+        profile_workload(make_ia(), config));
+  }
+  static void TearDownTestSuite() {
+    delete profiles_;
+    profiles_ = nullptr;
+  }
+
+  static const std::vector<LatencyProfile>& profiles() { return *profiles_; }
+
+  static EarlyBindingInputs inputs(Seconds slo = 3.0) {
+    EarlyBindingInputs in;
+    in.profiles = profiles_;
+    in.slo = slo;
+    in.kstep = 500;
+    return in;
+  }
+
+ private:
+  static std::vector<LatencyProfile>* profiles_;
+};
+
+std::vector<LatencyProfile>* PolicyTestBase::profiles_ = nullptr;
+
+Millicores total(const std::vector<Millicores>& sizes) {
+  Millicores sum = 0;
+  for (Millicores k : sizes) sum += k;
+  return sum;
+}
+
+// -------------------------------------------------------------- fixed --
+TEST(FixedPolicy, ReturnsConfiguredSizes) {
+  FixedSizingPolicy policy("p", {1000, 2000, 3000});
+  RequestDraw draw;
+  EXPECT_EQ(policy.size_for_stage(0, 0.0, draw), 1000);
+  EXPECT_EQ(policy.size_for_stage(2, 1.5, draw), 3000);
+  EXPECT_FALSE(policy.late_binding());
+  EXPECT_THROW(policy.size_for_stage(3, 0.0, draw), std::invalid_argument);
+}
+
+TEST(FixedPolicy, RejectsEmptyOrZeroSizes) {
+  EXPECT_THROW(FixedSizingPolicy("p", {}), std::invalid_argument);
+  EXPECT_THROW(FixedSizingPolicy("p", {0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- grandslam --
+class GrandSlamTest : public PolicyTestBase {};
+
+TEST_F(GrandSlamTest, IdenticalSizesMeetSloAtP99Sum) {
+  const auto sizes = grandslam_sizes(inputs());
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], sizes[1]);
+  EXPECT_EQ(sizes[1], sizes[2]);
+  BudgetMs sum = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sum += profiles()[i].latency_ms(99, sizes[i], 1);
+  }
+  EXPECT_LE(sum, 3000);
+}
+
+TEST_F(GrandSlamTest, PicksSmallestFeasibleIdenticalSize) {
+  const auto sizes = grandslam_sizes(inputs());
+  if (sizes[0] > 1000) {
+    BudgetMs sum = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      sum += profiles()[i].latency_ms(99, sizes[i] - 500, 1);
+    }
+    EXPECT_GT(sum, 3000);
+  }
+}
+
+TEST_F(GrandSlamTest, InfeasibleSloThrows) {
+  EXPECT_THROW(grandslam_sizes(inputs(0.5)), std::invalid_argument);
+}
+
+TEST_F(GrandSlamTest, PlusNeverCostsMore) {
+  const auto gs = grandslam_sizes(inputs());
+  const auto gsp = grandslam_plus_sizes(inputs());
+  EXPECT_LE(total(gsp), total(gs));
+}
+
+TEST_F(GrandSlamTest, PlusMeetsSloAtP99Sum) {
+  const auto sizes = grandslam_plus_sizes(inputs());
+  BudgetMs sum = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sum += profiles()[i].latency_ms(99, sizes[i], 1);
+  }
+  EXPECT_LE(sum, 3000);
+}
+
+TEST_F(GrandSlamTest, LooserSloCheaper) {
+  EXPECT_LE(total(grandslam_sizes(inputs(5.0))),
+            total(grandslam_sizes(inputs(3.0))));
+  EXPECT_LE(total(grandslam_plus_sizes(inputs(5.0))),
+            total(grandslam_plus_sizes(inputs(3.0))));
+}
+
+TEST_F(GrandSlamTest, FactoriesNamePolicies) {
+  EXPECT_EQ(make_grandslam(inputs())->name(), "GrandSLAM");
+  EXPECT_EQ(make_grandslam_plus(inputs())->name(), "GrandSLAM+");
+}
+
+TEST_F(GrandSlamTest, InputValidation) {
+  EarlyBindingInputs in;
+  EXPECT_THROW(grandslam_sizes(in), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- orion --
+class OrionTest : public PolicyTestBase {};
+
+TEST_F(OrionTest, CheaperThanGrandSlamPlus) {
+  // The convolution bound is strictly less conservative than P99 sums.
+  const auto orion = orion_sizes(inputs());
+  const auto gsp = grandslam_plus_sizes(inputs());
+  EXPECT_LE(total(orion), total(gsp));
+}
+
+TEST_F(OrionTest, EstimatedE2eP99WithinSlo) {
+  const auto sizes = orion_sizes(inputs());
+  EXPECT_LE(orion_e2e_p99(inputs(), sizes), 3.0);
+}
+
+TEST_F(OrionTest, ShrinkingAnySizeViolates) {
+  // Local minimality: no single stage can shrink further.
+  const auto in = inputs();
+  auto sizes = orion_sizes(in);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    if (sizes[s] - in.kstep < in.kmin) continue;
+    auto candidate = sizes;
+    candidate[s] -= in.kstep;
+    EXPECT_GT(orion_e2e_p99(in, candidate), 3.0) << "stage " << s;
+  }
+}
+
+TEST_F(OrionTest, InfeasibleSloThrows) {
+  EXPECT_THROW(orion_sizes(inputs(0.5)), std::invalid_argument);
+}
+
+TEST_F(OrionTest, DeterministicForSeed) {
+  EXPECT_EQ(orion_sizes(inputs()), orion_sizes(inputs()));
+}
+
+// ------------------------------------------------------------ optimal --
+OptimalInputs optimal_inputs(Seconds slo = 3.0) {
+  OptimalInputs in;
+  in.models = make_ia().chain_models();
+  in.slo = slo;
+  return in;
+}
+
+RequestDraw unit_draw() {
+  RequestDraw draw;
+  draw.ws = {1.0, 1.0, 1.0};
+  draw.interference = {1.0, 1.0, 1.0};
+  return draw;
+}
+
+double request_latency(const OptimalInputs& in, const RequestDraw& draw,
+                       const std::vector<double>& k) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    t += in.models[i].serial(in.concurrency) * draw.interference[i] +
+         in.models[i].work(in.concurrency) * draw.ws[i] *
+             draw.interference[i] * 1000.0 / k[i];
+  }
+  return t;
+}
+
+TEST(Optimal, AllocationMeetsBudget) {
+  const auto in = optimal_inputs();
+  const auto draw = unit_draw();
+  const auto k = optimal_allocation(in, draw);
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_LE(request_latency(in, draw, k),
+            in.slo - 3 * in.overhead_per_stage + 1e-9);
+}
+
+TEST(Optimal, RespectsBoxConstraints) {
+  const auto in = optimal_inputs();
+  RequestDraw draw = unit_draw();
+  draw.ws = {4.0, 0.2, 1.0};  // skewed work pushes toward the box edges
+  for (double ki : optimal_allocation(in, draw)) {
+    EXPECT_GE(ki, 1000.0 - 1e-9);
+    EXPECT_LE(ki, 3000.0 * 1.05 + 1e-9);
+  }
+}
+
+TEST(Optimal, MatchesBruteForceWithinTolerance) {
+  const auto in = optimal_inputs();
+  RequestDraw draw;
+  draw.ws = {1.4, 0.8, 1.1};
+  draw.interference = {1.1, 1.0, 1.2};
+  const auto k = optimal_allocation(in, draw);
+  double wf_total = k[0] + k[1] + k[2];
+
+  // Brute force on a 25 mc lattice.
+  double best = 1e18;
+  for (double k0 = 1000; k0 <= 3000; k0 += 25) {
+    for (double k1 = 1000; k1 <= 3000; k1 += 25) {
+      for (double k2 = 1000; k2 <= 3000; k2 += 25) {
+        if (request_latency(in, draw, {k0, k1, k2}) <=
+            in.slo - 3 * in.overhead_per_stage) {
+          best = std::min(best, k0 + k1 + k2);
+        }
+      }
+    }
+  }
+  ASSERT_LT(best, 1e18);
+  EXPECT_LE(wf_total, best + 80.0);  // within one lattice step per stage
+}
+
+TEST(Optimal, UnavoidableViolationReturnsKmax) {
+  auto in = optimal_inputs(0.3);  // impossible SLO
+  const auto k = optimal_allocation(in, unit_draw());
+  for (double ki : k) EXPECT_DOUBLE_EQ(ki, 3000.0);
+}
+
+TEST(Optimal, EasierRequestsCheaper) {
+  const auto in = optimal_inputs();
+  RequestDraw fast = unit_draw();
+  fast.ws = {0.5, 0.5, 0.5};
+  RequestDraw slow = unit_draw();
+  slow.ws = {2.0, 2.0, 2.0};
+  const auto kf = optimal_allocation(in, fast);
+  const auto ks = optimal_allocation(in, slow);
+  EXPECT_LT(kf[0] + kf[1] + kf[2], ks[0] + ks[1] + ks[2]);
+}
+
+TEST(Optimal, PolicyReportsLateBinding) {
+  OptimalPolicy policy(optimal_inputs());
+  EXPECT_TRUE(policy.late_binding());
+  EXPECT_EQ(policy.name(), "Optimal");
+  const auto draw = unit_draw();
+  EXPECT_GT(policy.size_for_stage(0, 0.0, draw), 0);
+}
+
+TEST(Optimal, DrawSizeMismatchThrows) {
+  RequestDraw bad;
+  bad.ws = {1.0};
+  bad.interference = {1.0};
+  EXPECT_THROW(optimal_allocation(optimal_inputs(), bad),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- janus --
+class JanusPolicyTest : public PolicyTestBase {};
+
+SynthesisConfig janus_config() {
+  SynthesisConfig config;
+  config.kstep = 500;
+  config.budget_step = 5;
+  config.threads = 2;
+  return config;
+}
+
+TEST_F(JanusPolicyTest, VariantNames) {
+  EXPECT_EQ(janus_variant_name(Exploration::FixedP99), "Janus-");
+  EXPECT_EQ(janus_variant_name(Exploration::HeadOnly), "Janus");
+  EXPECT_EQ(janus_variant_name(Exploration::HeadAndNext), "Janus+");
+}
+
+TEST_F(JanusPolicyTest, UsesRemainingBudget) {
+  auto policy = make_janus(profiles(), janus_config(), 3.0);
+  EXPECT_TRUE(policy->late_binding());
+  RequestDraw draw;
+  // With more elapsed time, the remaining budget shrinks and the stage-1
+  // size must not decrease.
+  const Millicores relaxed = policy->size_for_stage(1, 0.5, draw);
+  const Millicores tight = policy->size_for_stage(1, 2.2, draw);
+  EXPECT_GE(tight, relaxed);
+}
+
+TEST_F(JanusPolicyTest, ExhaustedBudgetGoesKmax) {
+  auto policy = make_janus(profiles(), janus_config(), 3.0);
+  RequestDraw draw;
+  EXPECT_EQ(policy->size_for_stage(2, 3.5, draw), 3000);
+  EXPECT_GT(policy->adapter().stats().misses, 0u);
+}
+
+TEST_F(JanusPolicyTest, StageZeroUsesFullSlo) {
+  auto policy = make_janus(profiles(), janus_config(), 3.0);
+  RequestDraw draw;
+  const Millicores k0 = policy->size_for_stage(0, 0.0, draw);
+  EXPECT_GE(k0, 1000);
+  EXPECT_LE(k0, 3000);
+  EXPECT_EQ(policy->adapter().stats().misses, 0u);
+}
+
+TEST_F(JanusPolicyTest, RejectsBadSlo) {
+  HintsBundle bundle = synthesize_bundle(profiles(), janus_config());
+  EXPECT_THROW(JanusPolicy("Janus", Adapter(std::move(bundle)), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,220 @@
+// Tests for src/profiler: grids, percentile extraction, monotonicity
+// invariants, serialization.
+#include <gtest/gtest.h>
+
+#include "model/workloads.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus {
+namespace {
+
+ProfilerConfig fast_config() {
+  ProfilerConfig config;
+  config.grid.kmin = 1000;
+  config.grid.kmax = 3000;
+  config.grid.kstep = 500;
+  config.samples_per_point = 800;
+  config.interference = InterferenceModel(workload_interference_params());
+  return config;
+}
+
+// ------------------------------------------------------------- grid --
+TEST(ProfileGrid, CoresEnumeration) {
+  ProfileGrid grid;
+  grid.kmin = 1000;
+  grid.kmax = 2000;
+  grid.kstep = 500;
+  EXPECT_EQ(grid.cores(), (std::vector<Millicores>{1000, 1500, 2000}));
+}
+
+TEST(ProfileGrid, ValidationRejectsMisalignedGrid) {
+  ProfileGrid grid;
+  grid.kmin = 1000;
+  grid.kmax = 2050;
+  grid.kstep = 100;
+  EXPECT_THROW(grid.validate(), std::invalid_argument);
+}
+
+TEST(ProfileGrid, ValidationRejectsBadConcurrency) {
+  ProfileGrid grid;
+  grid.concurrencies = {0};
+  EXPECT_THROW(grid.validate(), std::invalid_argument);
+}
+
+TEST(DefaultPercentiles, CoverPaperRange) {
+  const auto ps = default_percentiles();
+  EXPECT_EQ(ps.front(), 1);
+  EXPECT_EQ(ps.back(), 99);
+  // 1..96 step 5 plus 99 (the always-present non-head percentile).
+  EXPECT_EQ(ps.size(), 21u);
+}
+
+// --------------------------------------------------------- LatencyProfile --
+TEST(LatencyProfile, SetAndGetPercentiles) {
+  ProfileGrid grid;
+  grid.kmin = grid.kmax = 1000;
+  grid.kstep = 100;
+  LatencyProfile profile("f", grid);
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  profile.set_samples(1000, 1, samples);
+  EXPECT_NEAR(profile.latency(50, 1000, 1), 50.5, 0.1);
+  EXPECT_NEAR(profile.latency(99, 1000, 1), 99.01, 0.1);
+  EXPECT_NEAR(profile.latency(1, 1000, 1), 1.99, 0.1);
+}
+
+TEST(LatencyProfile, LatencyMsCeils) {
+  ProfileGrid grid;
+  grid.kmin = grid.kmax = 1000;
+  LatencyProfile profile("f", grid);
+  profile.set_samples(1000, 1, std::vector<double>(10, 0.1234));
+  EXPECT_EQ(profile.latency_ms(50, 1000, 1), 124);
+}
+
+TEST(LatencyProfile, OffGridThrows) {
+  ProfileGrid grid;
+  grid.kmin = 1000;
+  grid.kmax = 2000;
+  grid.kstep = 500;
+  LatencyProfile profile("f", grid);
+  EXPECT_THROW(profile.latency(50, 1250, 1), std::invalid_argument);
+  EXPECT_THROW(profile.latency(50, 1000, 9), std::invalid_argument);
+  EXPECT_THROW(profile.latency(0, 1000, 1), std::invalid_argument);
+}
+
+TEST(LatencyProfile, UnprofiledPointThrows) {
+  ProfileGrid grid;
+  grid.kmin = 1000;
+  grid.kmax = 2000;
+  grid.kstep = 1000;
+  LatencyProfile profile("f", grid);
+  profile.set_samples(1000, 1, {1.0});
+  EXPECT_NO_THROW(profile.latency(50, 1000, 1));
+  EXPECT_THROW(profile.latency(50, 2000, 1), std::invalid_argument);
+  EXPECT_TRUE(profile.has_point(1000, 1));
+  EXPECT_FALSE(profile.has_point(2000, 1));
+}
+
+TEST(LatencyProfile, CsvRoundTripPreservesPercentiles) {
+  const auto model = make_micro_function(ResourceDim::Cpu);
+  const auto profile = profile_function(model, fast_config());
+  const auto back = LatencyProfile::from_csv(profile.to_csv());
+  EXPECT_EQ(back.function_name(), profile.function_name());
+  for (Millicores k : profile.grid().cores()) {
+    for (Percentile p : {1, 25, 50, 75, 99}) {
+      EXPECT_NEAR(back.latency(p, k, 1), profile.latency(p, k, 1), 1e-6);
+    }
+  }
+}
+
+// --------------------------------------------------------------- profiler --
+class ProfilerInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, Percentile>> {};
+
+TEST_P(ProfilerInvariantTest, LatencyDecreasesWithCores) {
+  const auto [model_index, p] = GetParam();
+  const auto models = make_ia().chain_models();
+  const auto profile =
+      profile_function(models[static_cast<std::size_t>(model_index)],
+                       fast_config());
+  double prev = 1e18;
+  for (Millicores k : profile.grid().cores()) {
+    const double cur = profile.latency(p, k, 1);
+    EXPECT_LE(cur, prev) << "k=" << k << " p=" << static_cast<int>(p);
+    prev = cur;
+  }
+}
+
+TEST_P(ProfilerInvariantTest, LatencyIncreasesWithPercentile) {
+  const auto [model_index, p] = GetParam();
+  (void)p;
+  const auto models = make_ia().chain_models();
+  const auto profile =
+      profile_function(models[static_cast<std::size_t>(model_index)],
+                       fast_config());
+  for (Millicores k : profile.grid().cores()) {
+    double prev = 0.0;
+    for (Percentile q = 1; q <= 99; ++q) {
+      const double cur = profile.latency(q, k, 1);
+      EXPECT_GE(cur, prev);
+      prev = cur;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, ProfilerInvariantTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<Percentile>(1, 50, 99)));
+
+TEST(Profiler, DeterministicForSeed) {
+  const auto model = make_micro_function(ResourceDim::Io);
+  const auto a = profile_function(model, fast_config());
+  const auto b = profile_function(model, fast_config());
+  EXPECT_DOUBLE_EQ(a.latency(50, 1500, 1), b.latency(50, 1500, 1));
+}
+
+TEST(Profiler, SeedChangesSamples) {
+  const auto model = make_micro_function(ResourceDim::Io);
+  auto config = fast_config();
+  const auto a = profile_function(model, config);
+  config.seed = 1234;
+  const auto b = profile_function(model, config);
+  EXPECT_NE(a.latency(50, 1500, 1), b.latency(50, 1500, 1));
+}
+
+TEST(Profiler, DispersionReflectsWorkingSetSigma) {
+  // QA's profile P99/P50 at a fixed size must be >= the ws-only ratio
+  // (interference adds dispersion on top).
+  const auto qa = make_ia().chain_models()[1];
+  const auto profile = profile_function(qa, fast_config());
+  const double ratio = profile.latency(99, 1000, 1) / profile.latency(50, 1000, 1);
+  EXPECT_GT(ratio, 1.9);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(Profiler, WorkloadProfilesInChainOrder) {
+  const auto ia = make_ia();
+  auto config = fast_config();
+  const auto profiles = profile_workload(ia, config);
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].function_name(), "OD");
+  EXPECT_EQ(profiles[1].function_name(), "QA");
+  EXPECT_EQ(profiles[2].function_name(), "TS");
+}
+
+TEST(Profiler, NonBatchableSkipsHighConcurrency) {
+  const auto va = make_va();
+  auto config = fast_config();
+  config.grid.concurrencies = {1, 2};
+  const auto fe = profile_function(va.chain_models()[0], config);
+  EXPECT_TRUE(fe.has_point(1000, 1));
+  EXPECT_FALSE(fe.has_point(1000, 2));
+}
+
+TEST(Profiler, BatchRaisesLatency) {
+  const auto qa = make_ia().chain_models()[1];
+  auto config = fast_config();
+  config.grid.concurrencies = {1, 2, 3};
+  const auto profile = profile_function(qa, config);
+  EXPECT_GT(profile.latency(50, 2000, 2), profile.latency(50, 2000, 1));
+  EXPECT_GT(profile.latency(50, 2000, 3), profile.latency(50, 2000, 2));
+}
+
+TEST(Profiler, DefaultConfigCoversWorkloadConcurrency) {
+  const auto ia = make_ia();
+  const auto config = default_profiler_config(ia);
+  EXPECT_EQ(config.grid.concurrencies,
+            (std::vector<Concurrency>{1, 2, 3}));
+  const auto va_config = default_profiler_config(make_va());
+  EXPECT_EQ(va_config.grid.concurrencies, (std::vector<Concurrency>{1}));
+}
+
+TEST(Profiler, MemoryBytesNonTrivial) {
+  const auto model = make_micro_function(ResourceDim::Cpu);
+  const auto profile = profile_function(model, fast_config());
+  EXPECT_GT(profile.memory_bytes(), 1000u);
+}
+
+}  // namespace
+}  // namespace janus

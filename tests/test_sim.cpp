@@ -1,0 +1,308 @@
+// Tests for src/sim: event engine ordering, platform pod lifecycle,
+// warm pools, co-location packing, invoke outcomes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/workloads.hpp"
+#include "sim/engine.hpp"
+#include "sim/platform.hpp"
+
+namespace janus {
+namespace {
+
+// ----------------------------------------------------------------- engine --
+TEST(SimEngine, RunsEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(SimEngine, TiesBreakByInsertionOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
+  SimEngine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_after(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimEngine, PastSchedulingThrows) {
+  SimEngine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(SimEngine, StepReturnsFalseWhenEmpty) {
+  SimEngine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_at(0.0, [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(SimEngine, EventsCanCascade) {
+  SimEngine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) engine.schedule_after(0.1, recurse);
+  };
+  engine.schedule_at(0.0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 10);
+}
+
+// --------------------------------------------------------------- platform --
+PlatformConfig small_platform() {
+  PlatformConfig config;
+  config.nodes = 2;
+  config.pool.prewarm_per_function = 2;
+  return config;
+}
+
+std::vector<FunctionModel> two_models() {
+  return {make_micro_function(ResourceDim::Cpu),
+          make_micro_function(ResourceDim::Network)};
+}
+
+TEST(Platform, InvokeCompletesWithExecTime) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  InvocationOutcome got;
+  platform.invoke(0, 2000, 1, 1.0, 1.0,
+                  [&](const InvocationOutcome& o) { got = o; });
+  engine.run();
+  const double expected =
+      two_models()[0].exec_time(2000, 1, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(got.exec_s, expected);
+  EXPECT_DOUBLE_EQ(got.interference, 1.0);
+  EXPECT_EQ(platform.invocations(), 1u);
+}
+
+TEST(Platform, WarmPodReusedNoColdStart) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  int cold = 0;
+  for (int i = 0; i < 3; ++i) {
+    platform.invoke(0, 1000, 1, 1.0, 1.0, [&](const InvocationOutcome& o) {
+      cold += o.cold_start ? 1 : 0;
+    });
+    engine.run();
+  }
+  EXPECT_EQ(cold, 0);
+  EXPECT_EQ(platform.cold_starts(), 0u);
+}
+
+TEST(Platform, ColdStartWhenPoolExhausted) {
+  SimEngine engine;
+  PlatformConfig config = small_platform();
+  config.pool.prewarm_per_function = 0;  // no generic pods at all
+  Platform platform(engine, config, two_models());
+  bool cold = false;
+  platform.invoke(0, 1000, 1, 1.0, 1.0,
+                  [&](const InvocationOutcome& o) { cold = o.cold_start; });
+  engine.run();
+  EXPECT_TRUE(cold);
+  EXPECT_EQ(platform.cold_starts(), 1u);
+}
+
+TEST(Platform, ColdStartSlowerThanWarm) {
+  const PoolConfig pool;
+  EXPECT_GT(pool.cold_start_s, pool.warm_start_s);
+  SimEngine engine;
+  PlatformConfig config = small_platform();
+  config.pool.prewarm_per_function = 0;
+  Platform platform(engine, config, two_models());
+  Seconds cold_total = 0.0;
+  platform.invoke(0, 1000, 1, 1.0, 1.0, [&](const InvocationOutcome& o) {
+    cold_total = o.total();
+  });
+  engine.run();
+  Seconds warm_total = 0.0;
+  platform.invoke(0, 1000, 1, 1.0, 1.0, [&](const InvocationOutcome& o) {
+    warm_total = o.total();
+  });
+  engine.run();
+  EXPECT_GT(cold_total, warm_total);
+}
+
+TEST(Platform, ConcurrentInvocationsColocate) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  std::vector<int> coloc;
+  for (int i = 0; i < 4; ++i) {
+    platform.invoke(1, 1000, 1, 1.0, std::nullopt,
+                    [&](const InvocationOutcome& o) {
+                      coloc.push_back(o.colocated);
+                    });
+  }
+  EXPECT_GE(platform.peak_colocation(1), 2);  // packed on one node
+  engine.run();
+  // Later invocations observed earlier busy pods of the same function.
+  EXPECT_GT(*std::max_element(coloc.begin(), coloc.end()), 1);
+}
+
+TEST(Platform, EndogenousInterferenceGrowsWithColocation) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  std::vector<InvocationOutcome> outs;
+  for (int i = 0; i < 5; ++i) {
+    platform.invoke(1, 1000, 1, 1.0, std::nullopt,
+                    [&](const InvocationOutcome& o) { outs.push_back(o); });
+  }
+  engine.run();
+  double max_interf = 0.0;
+  for (const auto& o : outs) max_interf = std::max(max_interf, o.interference);
+  EXPECT_GT(max_interf, 1.2);  // network-bound contention kicked in
+}
+
+TEST(Platform, ExogenousMultiplierAppliedVerbatim) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  InvocationOutcome got;
+  platform.invoke(0, 1500, 1, 2.0, 3.0,
+                  [&](const InvocationOutcome& o) { got = o; });
+  engine.run();
+  EXPECT_DOUBLE_EQ(got.interference, 3.0);
+  EXPECT_DOUBLE_EQ(got.exec_s, two_models()[0].exec_time(1500, 1, 2.0, 3.0));
+}
+
+TEST(Platform, BusyMillicoresTracksInFlight) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  platform.invoke(0, 2500, 1, 1.0, 1.0, [](const InvocationOutcome&) {});
+  EXPECT_EQ(platform.busy_millicores(), 2500);
+  engine.run();
+  EXPECT_EQ(platform.busy_millicores(), 0);
+}
+
+TEST(Platform, NonBatchableRejectsBatch) {
+  SimEngine engine;
+  const auto va = make_va();
+  Platform platform(engine, small_platform(), va.chain_models());
+  EXPECT_THROW(
+      platform.invoke(0, 1000, 2, 1.0, 1.0, [](const InvocationOutcome&) {}),
+      std::invalid_argument);
+}
+
+TEST(Platform, InvalidInvokeArgsThrow) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  EXPECT_THROW(
+      platform.invoke(9, 1000, 1, 1.0, 1.0, [](const InvocationOutcome&) {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      platform.invoke(0, 0, 1, 1.0, 1.0, [](const InvocationOutcome&) {}),
+      std::invalid_argument);
+}
+
+TEST(Platform, ResizeOnWarmReuse) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  // First at 1000, then at 3000: warm pod is resized, not cold-started.
+  platform.invoke(0, 1000, 1, 1.0, 1.0, [](const InvocationOutcome&) {});
+  engine.run();
+  bool cold = true;
+  platform.invoke(0, 3000, 1, 1.0, 1.0,
+                  [&](const InvocationOutcome& o) { cold = o.cold_start; });
+  EXPECT_EQ(platform.busy_millicores(), 3000);
+  engine.run();
+  EXPECT_FALSE(cold);
+}
+
+TEST(Platform, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimEngine engine;
+    Platform platform(engine, small_platform(), two_models());
+    std::vector<double> times;
+    for (int i = 0; i < 5; ++i) {
+      platform.invoke(1, 1200, 1, 1.0, std::nullopt,
+                      [&](const InvocationOutcome& o) {
+                        times.push_back(o.exec_s);
+                      });
+    }
+    engine.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+
+TEST(Platform, ScaleOutLimitQueuesInvocations) {
+  SimEngine engine;
+  PlatformConfig config = small_platform();
+  config.pool.max_pods_per_function = 2;
+  Platform platform(engine, config, two_models());
+  std::vector<InvocationOutcome> outs;
+  for (int i = 0; i < 5; ++i) {
+    platform.invoke(0, 1000, 1, 1.0, 1.0,
+                    [&](const InvocationOutcome& o) { outs.push_back(o); });
+  }
+  // Only two pods may exist: three invocations wait in the queue.
+  EXPECT_EQ(platform.queued_invocations(), 3u);
+  engine.run();
+  ASSERT_EQ(outs.size(), 5u);
+  EXPECT_EQ(platform.queued_invocations(), 0u);
+  // The queued ones record a positive wait.
+  std::size_t waited = 0;
+  for (const auto& o : outs) waited += o.queued_s > 0.0 ? 1 : 0;
+  EXPECT_EQ(waited, 3u);
+}
+
+TEST(Platform, QueueDrainsInFifoOrder) {
+  SimEngine engine;
+  PlatformConfig config = small_platform();
+  config.pool.max_pods_per_function = 1;
+  Platform platform(engine, config, two_models());
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    platform.invoke(0, 1000, 1, 1.0, 1.0,
+                    [&order, i](const InvocationOutcome&) {
+                      order.push_back(i);
+                    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Platform, UnlimitedPodsNeverQueue) {
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  for (int i = 0; i < 10; ++i) {
+    platform.invoke(0, 1000, 1, 1.0, 1.0, [](const InvocationOutcome&) {});
+  }
+  EXPECT_EQ(platform.queued_invocations(), 0u);
+  engine.run();
+}
+
+}  // namespace
+}  // namespace janus

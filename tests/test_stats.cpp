@@ -1,0 +1,295 @@
+// Tests for src/stats: quantiles, empirical distributions, histograms,
+// parametric samplers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/distributions.hpp"
+#include "stats/empirical.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace janus {
+namespace {
+
+// ------------------------------------------------------------- quantile --
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({5.0}, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({5.0}, 1.0), 5.0);
+}
+
+TEST(Quantile, LinearInterpolationMatchesNumpyType7) {
+  // numpy.percentile([1,2,3,4], 25) == 1.75
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
+}
+
+TEST(Quantile, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(quantile({4, 1, 3, 2}, 0.5), 2.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Quantile, OutOfRangeQThrows) {
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, PercentileHelper) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 100.0), 5.0);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.lognormal(0.0, 1.0));
+  std::sort(v.begin(), v.end());
+  double prev = quantile_sorted(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile_sorted(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------------- p2 --
+class P2AccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2AccuracyTest, TracksExactQuantileOnLognormal) {
+  const double q = GetParam();
+  Rng rng(99);
+  P2Quantile est(q);
+  std::vector<double> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(0.0, 0.5);
+    est.add(x);
+    exact.push_back(x);
+  }
+  const double truth = quantile(std::move(exact), q);
+  EXPECT_NEAR(est.value(), truth, truth * 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2AccuracyTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile est(0.5);
+  est.add(3.0);
+  est.add(1.0);
+  est.add(2.0);
+  EXPECT_DOUBLE_EQ(est.value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateQ) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ empirical --
+TEST(Empirical, BasicStats) {
+  EmpiricalDistribution d({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 5.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_NEAR(d.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Empirical, CdfStepBehaviour) {
+  EmpiricalDistribution d({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.fraction_above(2.0), 0.5);
+}
+
+TEST(Empirical, PercentileMatchesQuantile) {
+  EmpiricalDistribution d({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(d.percentile(25.0), 1.75);
+}
+
+TEST(Empirical, CdfSeriesIsMonotone) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.uniform());
+  EmpiricalDistribution d(std::move(v));
+  const auto series = d.cdf_series(50);
+  ASSERT_EQ(series.size(), 50u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Empirical, EmptyConstructionThrows) {
+  EXPECT_THROW(EmpiricalDistribution(std::vector<double>{}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ histogram --
+TEST(Histogram, CountsBucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add_n(0.5, 10);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+// -------------------------------------------------------------- summary --
+TEST(Summary, WelfordMatchesDirect) {
+  Summary s;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_NEAR(s.variance(), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 21.0);
+}
+
+TEST(Summary, MergeEqualsSinglePass) {
+  Summary a, b, whole;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+}
+
+// -------------------------------------------------------- distributions --
+TEST(InverseNormal, KnownValues) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.99), 2.326348, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.01), -2.326348, 1e-4);
+}
+
+TEST(InverseNormal, RejectsBoundary) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(LogNormal, QuantileMatchesSamples) {
+  const LogNormal d(2.0, 0.4);
+  Rng rng(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) xs.push_back(d.sample(rng));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(percentile_sorted(xs, 50.0), d.quantile(0.5), 0.05);
+  EXPECT_NEAR(percentile_sorted(xs, 99.0), d.quantile(0.99),
+              d.quantile(0.99) * 0.05);
+}
+
+TEST(LogNormal, SigmaForRatioInverts) {
+  const double sigma = LogNormal::sigma_for_p99_over_p50(2.17);
+  const LogNormal d(1.0, sigma);
+  EXPECT_NEAR(d.quantile(0.99) / d.quantile(0.5), 2.17, 1e-9);
+}
+
+TEST(LogNormal, ZeroSigmaIsDegenerate) {
+  const LogNormal d(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.01), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 3.0);
+}
+
+TEST(LogNormal, RejectsBadParams) {
+  EXPECT_THROW(LogNormal(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal(1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(LogNormal::sigma_for_p99_over_p50(0.9), std::invalid_argument);
+}
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  const BoundedPareto d(1.0, 100.0, 1.2);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(BoundedPareto, QuantileEndpoints) {
+  const BoundedPareto d(2.0, 50.0, 1.5);
+  EXPECT_NEAR(d.quantile(0.0), 2.0, 1e-9);
+  EXPECT_NEAR(d.quantile(1.0), 50.0, 1e-6);
+}
+
+TEST(BoundedPareto, HeavyTailSkew) {
+  const BoundedPareto d(1.0, 1000.0, 1.1);
+  // Median far below midpoint for a heavy tail.
+  EXPECT_LT(d.quantile(0.5), 10.0);
+}
+
+TEST(Zipf, ProbabilitiesDecreaseAndSumToOne) {
+  const Zipf z(100, 1.1);
+  double total = 0.0, prev = 1.0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    const double p = z.probability(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostFrequent) {
+  const Zipf z(50, 1.2);
+  Rng rng(21);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,163 @@
+// janus_cli — command-line front end for the developer-side workflow.
+//
+//   janus_cli profile <ia|va> <out-dir>        profile and dump CSV grids
+//   janus_cli synthesize <ia|va> <out-dir> [weight] [conc]
+//                                              profile + synthesize, dump
+//                                              condensed hints tables
+//   janus_cli lookup <hints.csv> <budget-ms>   query a condensed table
+//   janus_cli serve <ia|va> [requests] [slo]   profile, synthesize, serve,
+//                                              print the summary row
+//
+// Everything runs against the built-in workload catalog; CSV files use the
+// same schema as LatencyProfile/HintsTable::to_csv, so tables produced here
+// can be loaded anywhere in the library.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "hints/generator.hpp"
+#include "model/workloads.hpp"
+#include "policy/janus_policy.hpp"
+#include "profiler/profiler.hpp"
+
+using namespace janus;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  janus_cli profile <ia|va> <out-dir>\n"
+               "  janus_cli synthesize <ia|va> <out-dir> [weight] [conc]\n"
+               "  janus_cli lookup <hints.csv> <budget-ms>\n"
+               "  janus_cli serve <ia|va> [requests] [slo-seconds]\n");
+  return 2;
+}
+
+WorkloadSpec workload_by_name(const std::string& name) {
+  if (name == "ia" || name == "IA") return make_ia();
+  if (name == "va" || name == "VA") return make_va();
+  throw_invalid("unknown workload (expected ia or va): " + name);
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw_invalid("cannot open for write: " + path);
+  out << text;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int cmd_profile(const std::string& name, const std::string& dir) {
+  const WorkloadSpec workload = workload_by_name(name);
+  const auto profiles =
+      profile_workload(workload, default_profiler_config(workload));
+  for (const auto& profile : profiles) {
+    write_text(dir + "/" + workload.name + "_" + profile.function_name() +
+                   "_profile.csv",
+               profile.to_csv());
+  }
+  return 0;
+}
+
+int cmd_synthesize(const std::string& name, const std::string& dir,
+                   double weight, Concurrency conc) {
+  const WorkloadSpec workload = workload_by_name(name);
+  ProfilerConfig prof = default_profiler_config(workload);
+  prof.grid.concurrencies = {conc};
+  const auto profiles = profile_workload(workload, prof);
+
+  SynthesisConfig config;
+  config.weight = weight;
+  config.concurrency = conc;
+  const HintsBundle bundle = synthesize_bundle(profiles, config);
+  std::printf("synthesized %zu raw -> %zu condensed hints in %.2fs\n",
+              bundle.stats.raw_hints, bundle.stats.condensed_hints,
+              bundle.stats.elapsed_s);
+  for (std::size_t j = 0; j < bundle.suffix_tables.size(); ++j) {
+    write_text(dir + "/" + workload.name + "_hints_suffix" +
+                   std::to_string(j) + ".csv",
+               bundle.suffix_tables[j].to_csv());
+  }
+  return 0;
+}
+
+int cmd_lookup(const std::string& path, BudgetMs budget) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_invalid("cannot open: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const HintsTable table = HintsTable::from_csv(text);
+  const auto result = table.lookup(budget);
+  switch (result.kind) {
+    case HintsTable::LookupKind::Hit:
+      std::printf("hit: %d mc\n", result.size);
+      break;
+    case HintsTable::LookupKind::ClampedHigh:
+      std::printf("clamped-high (budget above table range): %d mc\n",
+                  result.size);
+      break;
+    case HintsTable::LookupKind::Miss:
+      std::printf("miss: scale to Kmax (%d mc)\n", kDefaultKmax);
+      break;
+  }
+  return 0;
+}
+
+int cmd_serve(const std::string& name, int requests, Seconds slo) {
+  const WorkloadSpec workload = workload_by_name(name);
+  if (slo <= 0.0) slo = workload.slo(1);
+  const auto profiles =
+      profile_workload(workload, default_profiler_config(workload));
+  SynthesisConfig synth;
+  auto policy = make_janus(profiles, synth, slo);
+  RunConfig run;
+  run.slo = slo;
+  run.requests = requests;
+  const RunResult result = run_workload(workload, *policy, run);
+  std::printf("%s", render_table({"policy", "requests", "CPU (mc)",
+                                  "P99 E2E (s)", ">SLO"},
+                                 {{policy->name(), std::to_string(requests),
+                                   fmt(result.mean_cpu(), 1),
+                                   fmt(result.e2e_percentile(99), 3),
+                                   fmt(100.0 * result.violation_rate(), 2) +
+                                       "%"}})
+                        .c_str());
+  const auto& stats = policy->adapter().stats();
+  std::printf("adapter: %llu lookups, %.2f%% miss rate\n",
+              static_cast<unsigned long long>(stats.lookups()),
+              100.0 * stats.miss_rate());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "profile" && argc == 4) {
+      return cmd_profile(argv[2], argv[3]);
+    }
+    if (cmd == "synthesize" && argc >= 4) {
+      const double weight = argc > 4 ? std::stod(argv[4]) : 1.0;
+      const Concurrency conc = argc > 5 ? std::stoi(argv[5]) : 1;
+      return cmd_synthesize(argv[2], argv[3], weight, conc);
+    }
+    if (cmd == "lookup" && argc == 4) {
+      return cmd_lookup(argv[2], std::stoll(argv[3]));
+    }
+    if (cmd == "serve" && argc >= 3) {
+      const int requests = argc > 3 ? std::stoi(argv[3]) : 500;
+      const Seconds slo = argc > 4 ? std::stod(argv[4]) : 0.0;
+      return cmd_serve(argv[2], requests, slo);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "janus_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
