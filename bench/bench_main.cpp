@@ -1,0 +1,234 @@
+// bench_main — unified benchmark runner.
+//
+//   bench_main [--outdir DIR] [--bindir DIR] [--list] [all | NAME...]
+//
+// Runs the selected bench_* binaries (found next to this executable unless
+// --bindir overrides), captures their stdout and wall time, and writes one
+// machine-readable BENCH_<name>.json per benchmark into --outdir (default:
+// current directory).  This is the entry point the perf trajectory records
+// through: every run produces comparable JSON, and a nonzero exit means at
+// least one benchmark failed.
+//
+// The harness shape (spawn workload, capture, one summary line per run)
+// follows load-generator practice a la mutated: keep the measurement loop
+// dumb and push all interpretation into the emitted artifacts.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef JANUS_BENCH_LIST
+#define JANUS_BENCH_LIST ""
+#endif
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 16);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Directory holding this executable; argv[0] alone is useless under PATH
+// lookup (no slash), so prefer the kernel's record of the running image.
+std::string self_dir(const char* argv0) {
+#ifdef __linux__
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    const std::string path(buf);
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string::npos) return path.substr(0, slash);
+  }
+#endif
+  const std::string path(argv0);
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+struct BenchResult {
+  std::string name;
+  int exit_code = -1;
+  double wall_seconds = 0.0;
+  std::string stdout_text;
+
+  bool ok() const { return exit_code == 0; }
+};
+
+// Single-quote a string for POSIX sh so paths with spaces or shell
+// metacharacters survive popen.
+std::string shell_quote(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+BenchResult run_bench(const std::string& bindir, const std::string& name) {
+  BenchResult result;
+  result.name = name;
+  // Route stderr into the capture too so failure output lands in the JSON.
+  const std::string cmd = shell_quote(bindir + "/" + name) + " 2>&1";
+  const auto start = std::chrono::steady_clock::now();
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (!pipe) {
+    result.stdout_text = "popen failed: " + cmd;
+    return result;
+  }
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    result.stdout_text.append(buf, got);
+  }
+  const int status = ::pclose(pipe);
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  if (status == -1) {
+    result.exit_code = -1;
+  } else if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+  }
+  return result;
+}
+
+bool write_json(const std::string& outdir, const BenchResult& result) {
+  const std::string path = outdir + "/BENCH_" + result.name + ".json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "bench_main: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"status\": \"%s\",\n"
+               "  \"exit_code\": %d,\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"stdout\": \"%s\"\n"
+               "}\n",
+               json_escape(result.name).c_str(), result.ok() ? "ok" : "fail",
+               result.exit_code, result.wall_seconds,
+               json_escape(result.stdout_text).c_str());
+  std::fclose(out);
+  std::printf("bench_main: %-32s %-4s %8.3fs -> %s\n", result.name.c_str(),
+              result.ok() ? "ok" : "FAIL", result.wall_seconds, path.c_str());
+  return true;
+}
+
+const char kUsage[] =
+    "usage: bench_main [--outdir DIR] [--bindir DIR] [--list] "
+    "[all | NAME...]\n";
+
+int usage() {
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> known = split(JANUS_BENCH_LIST, ',');
+  std::string outdir = ".";
+  std::string bindir = self_dir(argv[0]);
+  std::vector<std::string> selected;
+  const auto select = [&selected](const std::string& name) {
+    // Dedup: `all` combined with explicit names (or a repeated name) must
+    // not run — and re-record — the same benchmark twice.
+    for (const auto& s : selected) {
+      if (s == name) return;
+    }
+    selected.push_back(name);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--outdir" && i + 1 < argc) {
+      outdir = argv[++i];
+    } else if (arg == "--bindir" && i + 1 < argc) {
+      bindir = argv[++i];
+    } else if (arg == "--list") {
+      for (const auto& name : known) std::printf("%s\n", name.c_str());
+      return 0;
+    } else if (arg == "all") {
+      for (const auto& name : known) select(name);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_main: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      // Accept names with or without the bench_ prefix.
+      const std::string name =
+          arg.rfind("bench_", 0) == 0 ? arg : "bench_" + arg;
+      bool found = false;
+      for (const auto& k : known) found = found || k == name;
+      if (!found) {
+        std::fprintf(stderr, "bench_main: unknown benchmark %s (--list)\n",
+                     name.c_str());
+        return 2;
+      }
+      select(name);
+    }
+  }
+  if (selected.empty()) return usage();
+
+  int failures = 0;
+  for (const auto& name : selected) {
+    const BenchResult result = run_bench(bindir, name);
+    if (!write_json(outdir, result)) return 1;
+    if (!result.ok()) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_main: %d of %zu benchmarks failed\n", failures,
+                 selected.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Canonical CI entry point: reproduces the ROADMAP tier-1 verify exactly.
+#
+#   cmake -B build -S . && cmake --build build -j && \
+#     cd build && ctest --output-on-failure -j
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

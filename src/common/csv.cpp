@@ -18,7 +18,9 @@ std::size_t CsvDoc::column(const std::string& name) const {
 namespace {
 
 bool needs_quoting(const std::string& field) {
-  return field.find_first_of(",\"\n") != std::string::npos;
+  // \r must be quoted too: the reader strips bare carriage returns (CRLF
+  // tolerance), so an unquoted \r would not survive a round trip.
+  return field.find_first_of(",\"\n\r") != std::string::npos;
 }
 
 void encode_field(std::ostream& os, const std::string& field) {
@@ -35,6 +37,12 @@ void encode_field(std::ostream& os, const std::string& field) {
 }
 
 void encode_row(std::ostream& os, const std::vector<std::string>& row) {
+  // A lone empty field would serialize to a blank line, which the reader
+  // skips as trailing-newline tolerance; quote it so the row survives.
+  if (row.size() == 1 && row[0].empty()) {
+    os << "\"\"\n";
+    return;
+  }
   for (std::size_t i = 0; i < row.size(); ++i) {
     if (i > 0) os << ',';
     encode_field(os, row[i]);
@@ -42,7 +50,8 @@ void encode_row(std::ostream& os, const std::vector<std::string>& row) {
   os << '\n';
 }
 
-std::vector<std::string> parse_line(const std::string& text, std::size_t& pos) {
+std::vector<std::string> parse_line(const std::string& text, std::size_t& pos,
+                                    bool& saw_quote) {
   std::vector<std::string> out;
   std::string field;
   bool in_quotes = false;
@@ -61,6 +70,7 @@ std::vector<std::string> parse_line(const std::string& text, std::size_t& pos) {
       }
     } else if (c == '"') {
       in_quotes = true;
+      saw_quote = true;
     } else if (c == ',') {
       out.push_back(std::move(field));
       field.clear();
@@ -95,10 +105,14 @@ CsvDoc csv_decode(const std::string& text) {
   CsvDoc doc;
   std::size_t pos = 0;
   if (text.empty()) return doc;
-  doc.header = parse_line(text, pos);
+  bool saw_quote = false;
+  doc.header = parse_line(text, pos, saw_quote);
   while (pos < text.size()) {
-    auto row = parse_line(text, pos);
-    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
+    saw_quote = false;
+    auto row = parse_line(text, pos, saw_quote);
+    // Skip blank lines (trailing-newline tolerance) — but a quoted empty
+    // field ("") is a real one-column row, not a blank line.
+    if (row.size() == 1 && row[0].empty() && !saw_quote) continue;
     if (row.size() != doc.header.size()) {
       throw_invalid("csv row width differs from header");
     }

@@ -42,6 +42,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // The constructor guarantees at least one worker, but guard anyway: with
+  // zero workers the chunk count would be 0 (silently skipping every
+  // iteration), and enqueuing instead would deadlock with nobody draining
+  // the queue — run inline in that case.
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Chunk so tiny iteration bodies do not drown in queue overhead.
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   std::atomic<std::size_t> next{0};

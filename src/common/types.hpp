@@ -44,7 +44,10 @@ inline constexpr Seconds ms_to_s(BudgetMs ms) noexcept {
 }
 
 inline constexpr BudgetMs s_to_ms(Seconds s) noexcept {
-  return static_cast<BudgetMs>(s * 1000.0 + 0.5);
+  // Round half away from zero; the cast truncates toward zero, so adding
+  // +0.5 unconditionally would round negative durations toward zero
+  // (-1.7 ms -> -1 instead of -2).
+  return static_cast<BudgetMs>(s * 1000.0 + (s < 0.0 ? -0.5 : 0.5));
 }
 
 /// Throws std::invalid_argument with a uniform message prefix.  Used for

@@ -87,7 +87,15 @@ double P2Quantile::value() const {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {
     std::array<double, 5> copy = heights_;
-    std::sort(copy.begin(), copy.begin() + static_cast<long>(count_));
+    // Insertion sort over at most 4 observed values.  std::sort's inlined
+    // introsort trips GCC 12's -Warray-bounds false positive here under
+    // -fsanitize=address, and a 4-element sort does not need it anyway.
+    for (std::size_t i = 1; i < count_; ++i) {
+      const double v = copy[i];
+      std::size_t j = i;
+      for (; j > 0 && copy[j - 1] > v; --j) copy[j] = copy[j - 1];
+      copy[j] = v;
+    }
     const double pos = q_ * static_cast<double>(count_ - 1);
     const auto lo = static_cast<std::size_t>(pos);
     const auto hi = std::min(lo + 1, count_ - 1);

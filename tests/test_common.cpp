@@ -26,6 +26,14 @@ TEST(Types, SToMsRounds) {
   EXPECT_EQ(s_to_ms(0.0016), 2);
 }
 
+TEST(Types, SToMsRoundsNegativeSymmetrically) {
+  EXPECT_EQ(s_to_ms(-0.0014), -1);
+  EXPECT_EQ(s_to_ms(-0.0016), -2);
+  EXPECT_EQ(s_to_ms(-0.0017), -2);
+  EXPECT_EQ(s_to_ms(-1.5), -1500);
+  EXPECT_EQ(s_to_ms(0.0), 0);
+}
+
 TEST(Types, RequireThrows) {
   EXPECT_THROW(require(false, "boom"), std::invalid_argument);
   EXPECT_NO_THROW(require(true, "fine"));
@@ -168,6 +176,23 @@ TEST(ThreadPool, ParallelForPropagatesFirstError) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForPropagatesWithConcurrentFailures) {
+  ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  // Every iteration throws, so several chunk tasks fail concurrently; the
+  // first exception must propagate and the rest be swallowed.
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t) {
+                                   attempts.fetch_add(1);
+                                   throw std::runtime_error("concurrent");
+                                 }),
+               std::runtime_error);
+  EXPECT_GT(attempts.load(), 0);
+  // The pool must stay usable after a failed parallel_for.
+  auto fut = pool.submit([] { return 7; });
+  EXPECT_EQ(fut.get(), 7);
+}
+
 TEST(ThreadPool, SizeMatchesRequested) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
@@ -227,6 +252,54 @@ TEST(Csv, CrLfTolerated) {
   const CsvDoc doc = csv_decode("a,b\r\n1,2\r\n");
   ASSERT_EQ(doc.rows.size(), 1u);
   EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, CrLfInputWithQuotedFields) {
+  // CRLF line endings combined with quoting must not confuse the parser.
+  const CsvDoc doc = csv_decode("a,b\r\n\"x, y\",\"q\"\"z\"\r\n3,4\r\n");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "x, y");
+  EXPECT_EQ(doc.rows[0][1], "q\"z");
+  EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(Csv, QuotedFieldKeepsEmbeddedNewlines) {
+  // Inside quotes, both LF and CRLF are literal field content.
+  const CsvDoc lf = csv_decode("h\n\"line1\nline2\"\n");
+  ASSERT_EQ(lf.rows.size(), 1u);
+  EXPECT_EQ(lf.rows[0][0], "line1\nline2");
+
+  const CsvDoc crlf = csv_decode("h\r\n\"line1\r\nline2\"\r\n");
+  ASSERT_EQ(crlf.rows.size(), 1u);
+  EXPECT_EQ(crlf.rows[0][0], "line1\r\nline2");
+}
+
+TEST(Csv, SingleColumnEmptyFieldRoundTrips) {
+  // An empty lone field must not be confused with a blank line: it is
+  // encoded quoted ("") and decoded back as a real row.
+  CsvDoc doc;
+  doc.header = {"x"};
+  doc.rows = {{""}, {"a"}};
+  const CsvDoc back = csv_decode(csv_encode(doc));
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0][0], "");
+  EXPECT_EQ(back.rows[1][0], "a");
+  // Genuinely blank lines are still tolerated.
+  const CsvDoc blank = csv_decode("x\n\na\n");
+  ASSERT_EQ(blank.rows.size(), 1u);
+  EXPECT_EQ(blank.rows[0][0], "a");
+}
+
+TEST(Csv, CarriageReturnFieldRoundTrips) {
+  // A bare \r in a field must be quoted on encode, or the CRLF-tolerant
+  // reader would strip it on the way back in.
+  CsvDoc doc;
+  doc.header = {"x"};
+  doc.rows = {{"a\rb"}, {"c\r\nd"}};
+  const CsvDoc back = csv_decode(csv_encode(doc));
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0][0], "a\rb");
+  EXPECT_EQ(back.rows[1][0], "c\r\nd");
 }
 
 }  // namespace

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Unified bench entry point: configure/build whatever is missing, then run
+# the selected benchmarks through bench_main, which emits BENCH_<name>.json
+# into $OUT_DIR.
+#
+#   tools/run_bench.sh all                    # every benchmark
+#   tools/run_bench.sh table1_overall         # one (bench_ prefix optional)
+#   BUILD_DIR=out OUT_DIR=results tools/run_bench.sh fig4_latency_cdf ...
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-"$ROOT/build"}"
+OUT_DIR="${OUT_DIR:-"$BUILD_DIR/bench"}"
+
+if [[ $# -eq 0 ]]; then
+  echo "usage: $0 [all | NAME...]   (see bench_main --list)" >&2
+  exit 2
+fi
+
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT"
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+mkdir -p "$OUT_DIR"
+exec "$BUILD_DIR/bench/bench_main" --outdir "$OUT_DIR" "$@"
