@@ -1,0 +1,124 @@
+// Fleet scale: sweeps shard counts for a fixed 8-tenant fleet serving
+// >= 100k total requests through the sharded multi-tenant simulator, and
+// verifies the determinism contract that makes sharding safe — fleet
+// metrics are bit-identical at every shard count for a fixed seed.
+//
+// Emitted via bench_main as BENCH_fleet_scale.json.  Reported wall times
+// cover shard execution only (run_fleet's own clock), so the speedup column
+// isolates the sharding win: more engines in flight plus far smaller
+// per-engine event calendars.  Exits nonzero if any shard count changes
+// any fleet metric, or if the sweep serves fewer requests than promised.
+#include <cstdio>
+
+#include "exp/report.hpp"
+#include "fleet/fleet.hpp"
+
+using namespace janus;
+
+namespace {
+
+constexpr int kTenants = 8;
+constexpr int kRequestsPerTenant = 12500;  // 8 x 12500 = 100k total
+
+FleetConfig fleet_config(int shards) {
+  FleetConfig config;
+  config.tenants = make_tenant_mix(kTenants, kRequestsPerTenant,
+                                   /*base_rate=*/10.0, ArrivalKind::Poisson,
+                                   /*mixed_kinds=*/true);
+  config.shards = shards;
+  config.seed = 2026;
+  return config;
+}
+
+bool metrics_identical(const FleetResult& a, const FleetResult& b) {
+  if (a.fleet_p50 != b.fleet_p50 || a.fleet_p99 != b.fleet_p99 ||
+      a.fleet_violation_rate != b.fleet_violation_rate ||
+      a.fleet_mean_cpu_mc != b.fleet_mean_cpu_mc ||
+      a.total_requests != b.total_requests ||
+      a.fleet_e2e.sorted_samples() != b.fleet_e2e.sorted_samples()) {
+    return false;
+  }
+  if (a.tenants.size() != b.tenants.size()) return false;
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    const TenantResult& x = a.tenants[t];
+    const TenantResult& y = b.tenants[t];
+    if (x.e2e_p50 != y.e2e_p50 || x.e2e_p99 != y.e2e_p99 ||
+        x.violation_rate != y.violation_rate ||
+        x.mean_cpu_mc != y.mean_cpu_mc) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.fleet_hist.bins(); ++i) {
+    if (a.fleet_hist.bin_count(i) != b.fleet_hist.bin_count(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", banner("Fleet scale: shard sweep, " +
+                           std::to_string(kTenants) + " tenants x " +
+                           std::to_string(kRequestsPerTenant) + " requests")
+                        .c_str());
+
+  // Warm up allocator/code paths so the 1-shard reference is not charged
+  // for first-touch effects.
+  {
+    FleetConfig warm = fleet_config(1);
+    for (auto& t : warm.tenants) t.requests = 200;
+    (void)run_fleet(warm);
+  }
+
+  const int sweep[] = {1, 2, 4, 8};
+  FleetResult reference;
+  double wall_1 = 0.0, wall_8 = 0.0;
+  bool identical = true;
+  std::vector<std::vector<std::string>> rows;
+  for (int shards : sweep) {
+    const FleetResult result = run_fleet(fleet_config(shards));
+    const bool match = shards == 1 || metrics_identical(reference, result);
+    identical = identical && match;
+    if (shards == 1) {
+      reference = result;
+      wall_1 = result.wall_seconds;
+    }
+    if (shards == 8) wall_8 = result.wall_seconds;
+    rows.push_back({std::to_string(shards), fmt(result.wall_seconds, 3),
+                    fmt(wall_1 / result.wall_seconds, 2),
+                    fmt(result.fleet_p50, 3), fmt(result.fleet_p99, 3),
+                    fmt(result.fleet_mean_cpu_mc, 0),
+                    fmt(100.0 * result.fleet_violation_rate, 2) + "%",
+                    match ? "yes" : "NO"});
+  }
+  std::printf("%s", render_table({"shards", "wall (s)", "speedup", "P50 (s)",
+                                  "P99 (s)", "CPU (mc)", ">SLO",
+                                  "identical"},
+                                 rows)
+                        .c_str());
+
+  const double speedup = wall_8 > 0.0 ? wall_1 / wall_8 : 0.0;
+  std::printf("requests_total: %zu\n", reference.total_requests);
+  std::printf("tenants: %zu\n", reference.tenants.size());
+  std::printf("bit_identical: %s\n", identical ? "yes" : "no");
+  std::printf("speedup_1_to_8: %.2f\n", speedup);
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "bench_fleet_scale: fleet metrics changed with the shard "
+                 "count — determinism contract broken\n");
+    return 1;
+  }
+  if (reference.total_requests < 100000) {
+    std::fprintf(stderr, "bench_fleet_scale: served %zu < 100000 requests\n",
+                 reference.total_requests);
+    return 1;
+  }
+  if (speedup <= 2.0) {
+    std::fprintf(stderr,
+                 "bench_fleet_scale: warning: 1->8 shard speedup %.2fx <= "
+                 "2x on this machine\n",
+                 speedup);
+  }
+  return 0;
+}

@@ -22,11 +22,15 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 #ifndef JANUS_BENCH_LIST
 #define JANUS_BENCH_LIST ""
 #endif
 
 namespace {
+
+using janus::json_escape;
 
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> out;
@@ -40,29 +44,6 @@ std::vector<std::string> split(const std::string& text, char sep) {
     }
   }
   if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 16);
-  for (unsigned char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
   return out;
 }
 
@@ -138,7 +119,12 @@ BenchResult run_bench(const std::string& bindir, const std::string& name) {
 }
 
 bool write_json(const std::string& outdir, const BenchResult& result) {
-  const std::string path = outdir + "/BENCH_" + result.name + ".json";
+  // Artifact names drop the binary's bench_ prefix: bench_fleet_scale
+  // emits BENCH_fleet_scale.json (matching bench/baselines/).
+  const std::string stem = result.name.rfind("bench_", 0) == 0
+                               ? result.name.substr(6)
+                               : result.name;
+  const std::string path = outdir + "/BENCH_" + stem + ".json";
   FILE* out = std::fopen(path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "bench_main: cannot write %s\n", path.c_str());

@@ -3,11 +3,34 @@
 #
 #   cmake -B build -S . && cmake --build build -j && \
 #     cd build && ctest --output-on-failure -j
+#
+# Opt-in sanitizer mode wires the JANUS_SANITIZE CMake toggle and keeps a
+# separate build tree so instrumented and plain objects never mix:
+#
+#   SANITIZE=address ci/verify.sh    # AddressSanitizer
+#   SANITIZE=thread  ci/verify.sh    # ThreadSanitizer (fleet shards stress
+#                                    # the thread pool)
 set -euo pipefail
 
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 
-cmake -B build -S .
-cmake --build build -j
-cd build
+SANITIZE="${SANITIZE:-}"
+BUILD_DIR=build
+CMAKE_ARGS=()
+case "$SANITIZE" in
+  "") ;;
+  address|thread)
+    BUILD_DIR="build-${SANITIZE}"
+    CMAKE_ARGS+=("-DJANUS_SANITIZE=${SANITIZE}")
+    ;;
+  *)
+    echo "ci/verify.sh: SANITIZE must be empty, 'address', or 'thread'" \
+         "(got '${SANITIZE}')" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
 ctest --output-on-failure -j

@@ -1,0 +1,37 @@
+// Minimal JSON string escaping, shared by every emitter of machine-
+// readable output (fleet results, bench_main artifacts) so the escaping
+// rules cannot drift between them.  Header-only: bench_main uses it
+// without linking the library.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace janus {
+
+/// Escapes `text` for embedding inside a JSON string literal: quote,
+/// backslash, \n \r \t, and \u00xx for the remaining control characters.
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 16);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace janus

@@ -35,6 +35,9 @@ std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
                                        const RunConfig& config) {
   require(config.requests > 0, "run needs >= 1 request");
   const auto models = workload.chain_models();
+  require(config.colocation_per_stage.empty() ||
+              config.colocation_per_stage.size() == models.size(),
+          "per-stage co-location needs one distribution per chain stage");
   const CoLocationDistribution coloc =
       config.colocation_is_default
           ? CoLocationDistribution::for_concurrency(config.concurrency)
@@ -44,9 +47,13 @@ std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
   draws.reserve(static_cast<std::size_t>(config.requests));
   for (int r = 0; r < config.requests; ++r) {
     RequestDraw draw;
-    for (const auto& model : models) {
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      const auto& model = models[s];
       draw.ws.push_back(model.sample_ws(config.concurrency, rng));
-      const int n = coloc.sample(rng);
+      const CoLocationDistribution& dist =
+          config.colocation_per_stage.empty() ? coloc
+                                              : config.colocation_per_stage[s];
+      const int n = dist.sample(rng);
       draw.interference.push_back(
           config.interference.sample_multiplier(model.dim(), n, rng));
     }
@@ -65,78 +72,121 @@ struct InFlight {
   RequestRecord record;
 };
 
+/// Everything one serve_workload call needs while its events drain.  Owned
+/// by shared_ptr from the scheduled closures; freed when the last request
+/// completes and the closures are destroyed.
+struct ServeState {
+  std::vector<RequestDraw> draws;
+  Platform* platform = nullptr;
+  SizingPolicy* policy = nullptr;
+  RunResult* out = nullptr;
+  std::size_t stages = 0;
+  Seconds slo = 0.0;
+  Concurrency concurrency = 1;
+  bool endogenous_interference = false;
+  bool closed_loop = false;
+  std::size_t next_request = 0;  // closed-loop cursor
+};
+
+void start_request(const std::shared_ptr<ServeState>& st,
+                   const RequestDraw* draw);
+
+void launch_stage(const std::shared_ptr<ServeState>& st,
+                  const std::shared_ptr<InFlight>& req) {
+  const Millicores size =
+      st->policy->size_for_stage(req->stage, req->elapsed, *req->draw);
+  std::optional<double> exo;
+  if (!st->endogenous_interference) {
+    exo = req->draw->interference[req->stage];
+  }
+  st->platform->invoke(
+      static_cast<int>(req->stage), size, st->concurrency,
+      req->draw->ws[req->stage], exo,
+      [st, req, size](const InvocationOutcome& outcome) {
+        req->elapsed += outcome.total();
+        req->record.cpu_mc += static_cast<double>(size);
+        req->record.sizes.push_back(size);
+        req->record.stage_total.push_back(outcome.total());
+        ++req->stage;
+        if (req->stage < st->stages) {
+          launch_stage(st, req);
+          return;
+        }
+        req->record.e2e = req->elapsed;
+        req->record.violated = req->elapsed > st->slo;
+        st->out->requests.push_back(std::move(req->record));
+        if (st->closed_loop && st->next_request < st->draws.size()) {
+          // Next request enters the moment this one finished — the
+          // paper's sequential measurement loop, expressed as an event
+          // chain so the engine can be shared.
+          start_request(st, &st->draws[st->next_request++]);
+        }
+      });
+}
+
+void start_request(const std::shared_ptr<ServeState>& st,
+                   const RequestDraw* draw) {
+  auto req = std::make_shared<InFlight>();
+  req->draw = draw;
+  st->policy->on_request_start(*draw);
+  launch_stage(st, req);
+}
+
 }  // namespace
+
+void serve_workload(SimEngine& engine, Platform& platform,
+                    const WorkloadSpec& workload, SizingPolicy& policy,
+                    const RunConfig& config, RunResult& out) {
+  require(config.slo > 0.0, "SLO must be > 0");
+  auto st = std::make_shared<ServeState>();
+  st->draws = draw_requests(workload, config);
+  st->platform = &platform;
+  st->policy = &policy;
+  st->out = &out;
+  st->stages = workload.chain_models().size();
+  st->slo = config.slo;
+  st->concurrency = config.concurrency;
+  st->endogenous_interference = config.endogenous_interference;
+
+  out.policy_name = policy.name();
+  out.slo = config.slo;
+  out.requests.reserve(out.requests.size() + st->draws.size());
+
+  if (config.open_loop_rate > 0.0) {
+    // Open loop: pluggable arrival process; requests overlap on the
+    // platform.  The base rate stays the legacy open_loop_rate knob; the
+    // MMPP burst rate scales with it so the spec's burst/base ratio — the
+    // process's *shape* — survives the override.
+    ArrivalSpec spec = config.arrivals;
+    if (spec.rate > 0.0) {
+      spec.burst_rate *= config.open_loop_rate / spec.rate;
+    }
+    spec.rate = config.open_loop_rate;
+    const auto process = make_arrivals(spec);
+    Rng arrivals = Rng(config.seed).split(0xa11aULL);
+    Seconds t = engine.now();
+    for (std::size_t i = 0; i < st->draws.size(); ++i) {
+      t = process->next(t, arrivals);
+      engine.schedule_at(t, [st, d = &st->draws[i]] { start_request(st, d); });
+    }
+  } else {
+    // Closed loop: one request at a time (the paper's 1000-request runs).
+    st->closed_loop = true;
+    st->next_request = 1;
+    start_request(st, &st->draws[0]);
+  }
+}
 
 RunResult run_workload(const WorkloadSpec& workload, SizingPolicy& policy,
                        const RunConfig& config) {
-  require(config.slo > 0.0, "SLO must be > 0");
-  const auto models = workload.chain_models();
-  const std::size_t stages = models.size();
-  const auto draws = draw_requests(workload, config);
-
   SimEngine engine;
   PlatformConfig platform_config = config.platform;
   platform_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-  Platform platform(engine, platform_config, models,
+  Platform platform(engine, platform_config, workload.chain_models(),
                     config.interference);
-
   RunResult result;
-  result.policy_name = policy.name();
-  result.slo = config.slo;
-  result.requests.reserve(draws.size());
-
-  // Shared launch logic: runs one stage and chains the next.
-  std::function<void(std::shared_ptr<InFlight>)> launch_stage =
-      [&](std::shared_ptr<InFlight> req) {
-        const Millicores size =
-            policy.size_for_stage(req->stage, req->elapsed, *req->draw);
-        std::optional<double> exo;
-        if (!config.endogenous_interference) {
-          exo = req->draw->interference[req->stage];
-        }
-        platform.invoke(
-            static_cast<int>(req->stage), size, config.concurrency,
-            req->draw->ws[req->stage], exo,
-            [&, req, size](const InvocationOutcome& outcome) {
-              req->elapsed += outcome.total();
-              req->record.cpu_mc += static_cast<double>(size);
-              req->record.sizes.push_back(size);
-              req->record.stage_total.push_back(outcome.total());
-              ++req->stage;
-              if (req->stage < stages) {
-                launch_stage(req);
-              } else {
-                req->record.e2e = req->elapsed;
-                req->record.violated = req->elapsed > config.slo;
-                result.requests.push_back(std::move(req->record));
-              }
-            });
-      };
-
-  if (config.open_loop_rate > 0.0) {
-    // Open loop: Poisson arrivals; requests overlap on the platform.
-    Rng arrivals = Rng(config.seed).split(0xa11aULL);
-    Seconds t = 0.0;
-    for (const auto& draw : draws) {
-      t += arrivals.exponential(config.open_loop_rate);
-      engine.schedule_at(t, [&, d = &draw] {
-        auto req = std::make_shared<InFlight>();
-        req->draw = d;
-        policy.on_request_start(*d);
-        launch_stage(req);
-      });
-    }
-    engine.run();
-  } else {
-    // Closed loop: one request at a time (the paper's 1000-request runs).
-    for (const auto& draw : draws) {
-      auto req = std::make_shared<InFlight>();
-      req->draw = &draw;
-      policy.on_request_start(draw);
-      launch_stage(req);
-      engine.run();
-    }
-  }
+  serve_workload(engine, platform, workload, policy, config, result);
+  engine.run();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fleet/arrivals.hpp"
 #include "model/workloads.hpp"
 #include "policy/policy.hpp"
 #include "profiler/profiler.hpp"
@@ -33,9 +34,21 @@ struct RunConfig {
   /// Co-location distribution; default derives from `concurrency`.
   CoLocationDistribution colocation{};
   bool colocation_is_default = true;
-  /// Open-loop Poisson arrivals at this rate (requests/s); 0 = closed loop
-  /// (sequential requests, the paper's measurement setup).
+  /// Per-stage co-location distributions; when non-empty (one entry per
+  /// chain stage) they override `colocation`.  The fleet simulator fills
+  /// these from its cluster bin-packing, which is how endogenous
+  /// co-location reaches the interference draws.
+  std::vector<CoLocationDistribution> colocation_per_stage{};
+  /// Open-loop arrivals at this rate (requests/s); 0 = closed loop
+  /// (sequential requests, the paper's measurement setup).  The arrival
+  /// *process* is pluggable via `arrivals`; this rate overrides
+  /// `arrivals.rate` (scaling the MMPP burst rate along with it, so the
+  /// burst/base ratio is preserved) and the legacy single-knob Poisson
+  /// setup keeps working unchanged.
   double open_loop_rate = 0.0;
+  /// Shape of the open-loop arrival process (Poisson, MMPP bursts, or a
+  /// diurnal rate curve); ignored in closed loop.
+  ArrivalSpec arrivals{};
   /// When true the platform derives interference from actual pod
   /// co-location instead of the pre-drawn multipliers (clairvoyant Optimal
   /// is not meaningful in this mode).
@@ -64,6 +77,18 @@ struct RunResult {
 
 RunResult run_workload(const WorkloadSpec& workload, SizingPolicy& policy,
                        const RunConfig& config);
+
+/// Schedules one workload's full request stream onto a caller-owned engine
+/// and platform (which must wrap the same engine) and appends completed
+/// records to `out` while the caller runs the engine.  `platform`,
+/// `policy`, and `out` must outlive the run; all per-request state lives
+/// in the scheduled closures.  Multiple tenants can serve on one engine: each call uses
+/// only its own platform/policy/rng streams, so a tenant's records are
+/// bit-identical no matter what else shares the calendar — this is what
+/// lets the fleet simulator put one SimEngine per shard.
+void serve_workload(SimEngine& engine, Platform& platform,
+                    const WorkloadSpec& workload, SizingPolicy& policy,
+                    const RunConfig& config, RunResult& out);
 
 /// Pre-draws the request randomness exactly as run_workload does — shared
 /// with benches that need the draws directly (e.g. Fig 2's per-request

@@ -1,0 +1,141 @@
+#include "fleet/arrivals.hpp"
+
+#include <cmath>
+
+namespace janus {
+
+const char* to_string(ArrivalKind kind) noexcept {
+  switch (kind) {
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::Mmpp: return "mmpp";
+    case ArrivalKind::Diurnal: return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalKind arrival_kind_from_string(const std::string& name) {
+  if (name == "poisson") return ArrivalKind::Poisson;
+  if (name == "mmpp") return ArrivalKind::Mmpp;
+  if (name == "diurnal") return ArrivalKind::Diurnal;
+  throw_invalid("unknown arrival kind (expected poisson, mmpp, or diurnal): " +
+                name);
+}
+
+double ArrivalSpec::mean_rate() const {
+  switch (kind) {
+    case ArrivalKind::Mmpp:
+      // Time-weighted average over the two states' stationary shares.
+      return (rate * base_dwell_s + burst_rate * burst_dwell_s) /
+             (base_dwell_s + burst_dwell_s);
+    case ArrivalKind::Poisson:
+    case ArrivalKind::Diurnal:
+      return rate;
+  }
+  return rate;
+}
+
+namespace {
+
+void validate_common(const ArrivalSpec& spec) {
+  require(spec.rate > 0.0, "arrival rate must be > 0");
+}
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(const ArrivalSpec& spec) : rate_(spec.rate) {}
+
+  ArrivalKind kind() const noexcept override { return ArrivalKind::Poisson; }
+
+  Seconds next(Seconds now, Rng& rng) override {
+    return now + rng.exponential(rate_);
+  }
+
+ private:
+  double rate_;
+};
+
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  explicit MmppArrivals(const ArrivalSpec& spec) : spec_(spec) {
+    require(spec.burst_rate >= spec.rate,
+            "MMPP burst rate must be >= base rate");
+    require(spec.base_dwell_s > 0.0 && spec.burst_dwell_s > 0.0,
+            "MMPP dwell times must be > 0");
+  }
+
+  ArrivalKind kind() const noexcept override { return ArrivalKind::Mmpp; }
+
+  Seconds next(Seconds now, Rng& rng) override {
+    Seconds t = now;
+    for (;;) {
+      if (t >= state_until_) {
+        // Enter the other state; draw its dwell.  The first call lands
+        // here too (state_until_ starts at 0), seeding the base state.
+        if (started_) bursting_ = !bursting_;
+        started_ = true;
+        const Seconds dwell = bursting_ ? spec_.burst_dwell_s
+                                        : spec_.base_dwell_s;
+        state_until_ = t + rng.exponential(1.0 / dwell);
+      }
+      const double rate = bursting_ ? spec_.burst_rate : spec_.rate;
+      const Seconds candidate = t + rng.exponential(rate);
+      if (candidate <= state_until_) return candidate;
+      // The draw crossed a state boundary: discard it and redraw in the
+      // next state (valid because the exponential is memoryless).
+      t = state_until_;
+    }
+  }
+
+ private:
+  ArrivalSpec spec_;
+  bool started_ = false;
+  bool bursting_ = false;
+  Seconds state_until_ = 0.0;
+};
+
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  explicit DiurnalArrivals(const ArrivalSpec& spec) : spec_(spec) {
+    require(spec.period_s > 0.0, "diurnal period must be > 0");
+    require(spec.amplitude >= 0.0 && spec.amplitude <= 1.0,
+            "diurnal amplitude must be in [0, 1]");
+  }
+
+  ArrivalKind kind() const noexcept override { return ArrivalKind::Diurnal; }
+
+  Seconds next(Seconds now, Rng& rng) override {
+    // Lewis-Shedler thinning against the curve's peak rate.
+    const double peak = spec_.rate * (1.0 + spec_.amplitude);
+    Seconds t = now;
+    for (;;) {
+      t += rng.exponential(peak);
+      if (rng.uniform() * peak <= rate_at(t)) return t;
+    }
+  }
+
+ private:
+  double rate_at(Seconds t) const {
+    constexpr double kTwoPi = 6.283185307179586;
+    return spec_.rate *
+           (1.0 + spec_.amplitude * std::sin(kTwoPi * t / spec_.period_s));
+  }
+
+  ArrivalSpec spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec) {
+  validate_common(spec);
+  switch (spec.kind) {
+    case ArrivalKind::Poisson:
+      return std::make_unique<PoissonArrivals>(spec);
+    case ArrivalKind::Mmpp:
+      return std::make_unique<MmppArrivals>(spec);
+    case ArrivalKind::Diurnal:
+      return std::make_unique<DiurnalArrivals>(spec);
+  }
+  throw_invalid("unknown arrival kind");
+}
+
+}  // namespace janus

@@ -1,0 +1,70 @@
+// Pluggable open-loop load generation.
+//
+// An ArrivalProcess turns a deterministic Rng stream into a monotone
+// sequence of absolute request arrival times.  Three processes cover the
+// fleet's traffic shapes:
+//
+//   * Poisson  — memoryless arrivals at a constant rate (the paper's
+//     open-loop measurement setup; `RunConfig::open_loop_rate` semantics).
+//   * MMPP     — a 2-state Markov-modulated Poisson process alternating
+//     between a base and a burst rate, with exponentially distributed
+//     dwell times (bursty tenant traffic).
+//   * Diurnal  — a sinusoidal rate curve sampled by Lewis-Shedler
+//     thinning (slow daily load swing).
+//
+// The split between arrival process, service model, and measurement follows
+// load-generator practice (cf. mutated's generator/config separation): the
+// process owns *when* requests arrive and nothing else.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace janus {
+
+enum class ArrivalKind { Poisson, Mmpp, Diurnal };
+
+const char* to_string(ArrivalKind kind) noexcept;
+
+/// Parses "poisson" | "mmpp" | "diurnal" (throws on anything else).
+ArrivalKind arrival_kind_from_string(const std::string& name);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::Poisson;
+  /// Base rate in requests/s (> 0).  Poisson: the rate; MMPP: the
+  /// non-burst rate; Diurnal: the mean of the rate curve.
+  double rate = 10.0;
+  // --- MMPP ---
+  /// Rate while bursting (>= rate).
+  double burst_rate = 50.0;
+  /// Mean dwell times of the base and burst states, seconds (> 0).
+  Seconds base_dwell_s = 20.0;
+  Seconds burst_dwell_s = 2.0;
+  // --- Diurnal ---
+  /// Period of the rate curve, seconds (> 0).
+  Seconds period_s = 600.0;
+  /// Peak-to-mean swing in [0, 1]: rate(t) = rate * (1 + a sin(2πt/T)).
+  double amplitude = 0.5;
+
+  /// Long-run mean arrival rate of the process (used for capacity
+  /// planning, e.g. the fleet's pod estimates).
+  double mean_rate() const;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual ArrivalKind kind() const noexcept = 0;
+  /// Absolute time of the next arrival after `now`.  Successive calls with
+  /// the previous return value generate the arrival sequence; all
+  /// randomness comes from `rng`, so a fixed seed fixes the sequence.
+  virtual Seconds next(Seconds now, Rng& rng) = 0;
+};
+
+/// Builds the process described by `spec` (validates the spec).
+std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec);
+
+}  // namespace janus

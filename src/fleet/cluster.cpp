@@ -1,0 +1,75 @@
+#include "fleet/cluster.hpp"
+
+namespace janus {
+
+ClusterCapacity::ClusterCapacity(ClusterConfig config) : config_(config) {
+  require(config.nodes > 0, "cluster needs >= 1 node");
+  require(config.node_capacity_mc > 0, "node capacity must be > 0");
+  used_.assign(static_cast<std::size_t>(config.nodes), 0);
+}
+
+Millicores ClusterCapacity::used_mc(int node) const {
+  require(node >= 0 && static_cast<std::size_t>(node) < used_.size(),
+          "node index out of range");
+  return used_[static_cast<std::size_t>(node)];
+}
+
+double ClusterCapacity::utilization() const {
+  double total = 0.0;
+  for (Millicores u : used_) total += static_cast<double>(u);
+  return total / (static_cast<double>(config_.node_capacity_mc) *
+                  static_cast<double>(used_.size()));
+}
+
+std::vector<int> ClusterCapacity::place_group(int count, Millicores pod_mc) {
+  require(count >= 0, "pod count must be >= 0");
+  require(pod_mc > 0, "pod size must be > 0");
+  std::vector<int> per_node(used_.size(), 0);  // this group's pods per node
+  std::vector<int> assignment;
+  assignment.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p) {
+    int best = -1;
+    for (std::size_t n = 0; n < used_.size(); ++n) {
+      if (used_[n] + pod_mc > config_.node_capacity_mc) continue;
+      // Pack with the group's own pods first; among group-free nodes pick
+      // the emptiest, so distinct groups only share once capacity forces
+      // them to (contention comes from load, not from tie-breaking).
+      if (best < 0 ||
+          per_node[n] > per_node[static_cast<std::size_t>(best)] ||
+          (per_node[n] == per_node[static_cast<std::size_t>(best)] &&
+           used_[n] < used_[static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(n);
+      }
+    }
+    if (best < 0) {
+      // Saturated: overcommit the least-used node (ties to the lowest
+      // index, keeping the packing deterministic).
+      best = 0;
+      for (std::size_t n = 1; n < used_.size(); ++n) {
+        if (used_[n] < used_[static_cast<std::size_t>(best)]) {
+          best = static_cast<int>(n);
+        }
+      }
+      ++overcommitted_;
+    }
+    used_[static_cast<std::size_t>(best)] += pod_mc;
+    ++per_node[static_cast<std::size_t>(best)];
+    assignment.push_back(best);
+  }
+  return assignment;
+}
+
+double ClusterCapacity::mean_coresidency(const std::vector<int>& assignment) {
+  if (assignment.empty()) return 1.0;
+  int max_node = 0;
+  for (int n : assignment) max_node = n > max_node ? n : max_node;
+  std::vector<int> per_node(static_cast<std::size_t>(max_node) + 1, 0);
+  for (int n : assignment) ++per_node[static_cast<std::size_t>(n)];
+  double total = 0.0;
+  for (int n : assignment) {
+    total += static_cast<double>(per_node[static_cast<std::size_t>(n)]);
+  }
+  return total / static_cast<double>(assignment.size());
+}
+
+}  // namespace janus

@@ -1,0 +1,62 @@
+// Shared cluster capacity for the fleet simulator.
+//
+// The fleet plans each tenant's steady-state pod footprint up front
+// (Little's law over its offered load) and bin-packs those pods onto a
+// shared node pool.  Packing mirrors Platform::place: pods of one group
+// (one tenant function) prefer the node already hosting the most pods of
+// that group — commercial platforms pack same-function instances together —
+// which is exactly what creates the co-location interference of Fig 1c.
+// The resulting per-group co-residency feeds back into InterferenceModel
+// through CoLocationDistribution::concentrated, so tenants contend through
+// the placement rather than through an exogenous knob.
+//
+// The packing is a pure function of the request sequence (no randomness,
+// no runtime state), so fleet results stay bit-identical at any shard
+// count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+struct ClusterConfig {
+  int nodes = 16;
+  Millicores node_capacity_mc = 52000;  // testbed: 52 physical cores
+};
+
+class ClusterCapacity {
+ public:
+  explicit ClusterCapacity(ClusterConfig config);
+
+  int nodes() const noexcept { return static_cast<int>(used_.size()); }
+  Millicores node_capacity_mc() const noexcept {
+    return config_.node_capacity_mc;
+  }
+  Millicores used_mc(int node) const;
+  /// Total allocated / total capacity (can exceed 1 when overcommitted).
+  double utilization() const;
+  /// Pods placed past a node's capacity (saturated cluster).
+  int overcommitted_pods() const noexcept { return overcommitted_; }
+
+  /// Places `count` pods of one group (one tenant function), each of
+  /// `pod_mc` millicores, and returns the node index per pod.  Each pod
+  /// goes to the node already hosting the most pods of this group that
+  /// still has room; when no node has room the least-used node takes it
+  /// anyway (overcommit — the simulator models CPU-share dilution through
+  /// interference rather than rejecting pods).
+  std::vector<int> place_group(int count, Millicores pod_mc);
+
+  /// Mean same-group co-residency of a placement: the average, over pods,
+  /// of how many of the group's pods share that pod's node (>= 1).
+  static double mean_coresidency(const std::vector<int>& assignment);
+
+ private:
+  ClusterConfig config_;
+  std::vector<Millicores> used_;
+  int overcommitted_ = 0;
+};
+
+}  // namespace janus

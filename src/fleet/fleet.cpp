@@ -1,0 +1,228 @@
+#include "fleet/fleet.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "model/workloads.hpp"
+#include "sim/engine.hpp"
+
+namespace janus {
+
+namespace {
+
+/// Per-tenant seed from the fleet seed and the tenant index alone: shard
+/// assignment must never leak into the randomness.
+std::uint64_t tenant_seed(std::uint64_t fleet_seed, std::size_t tenant) {
+  return SplitMix64(fleet_seed ^
+                    (0x9e3779b97f4a7c15ULL * (tenant + 1)))
+      .next();
+}
+
+/// Everything one tenant needs, derived up front (shard-independent).
+struct TenantSetup {
+  WorkloadSpec workload;
+  RunConfig run;
+  double coresidency = 1.0;
+};
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string FleetResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"shards\": " << shards << ",\n  \"tenants\": [\n";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantResult& tr = tenants[t];
+    os << "    {\"name\": \"" << json_escape(tr.name) << "\", \"workload\": \""
+       << json_escape(tr.workload) << "\", \"arrivals\": \""
+       << to_string(tr.arrivals)
+       << "\", \"requests\": " << tr.requests
+       << ", \"slo_s\": " << fmt_double(tr.slo)
+       << ", \"violation_rate\": " << fmt_double(tr.violation_rate)
+       << ", \"mean_cpu_mc\": " << fmt_double(tr.mean_cpu_mc)
+       << ", \"p50_e2e_s\": " << fmt_double(tr.e2e_p50)
+       << ", \"p99_e2e_s\": " << fmt_double(tr.e2e_p99)
+       << ", \"coresidency\": " << fmt_double(tr.coresidency) << "}"
+       << (t + 1 < tenants.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"fleet\": {\"requests\": " << total_requests
+     << ", \"violation_rate\": " << fmt_double(fleet_violation_rate)
+     << ", \"mean_cpu_mc\": " << fmt_double(fleet_mean_cpu_mc)
+     << ", \"p50_e2e_s\": " << fmt_double(fleet_p50)
+     << ", \"p99_e2e_s\": " << fmt_double(fleet_p99)
+     << ", \"cluster_utilization\": " << fmt_double(cluster_utilization)
+     << ", \"overcommitted_pods\": " << overcommitted_pods << "},\n"
+     << "  \"wall_seconds\": " << fmt_double(wall_seconds) << "\n}\n";
+  return os.str();
+}
+
+FleetResult run_fleet(const FleetConfig& config) {
+  const std::size_t n = config.tenants.size();
+  require(n >= 1, "fleet needs >= 1 tenant");
+  require(config.shards >= 1, "fleet needs >= 1 shard");
+  require(config.hist_max_s > 0.0 && config.hist_bins > 0,
+          "fleet histogram layout must be non-degenerate");
+
+  // ---- Plan (shard-independent): workloads, seeds, cluster packing. ----
+  ClusterCapacity cluster(config.cluster);
+  std::vector<TenantSetup> setups;
+  setups.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const TenantSpec& spec = config.tenants[t];
+    require(spec.requests > 0, "tenant needs >= 1 request");
+    TenantSetup setup;
+    setup.workload = workload_by_name(spec.workload);
+    // Validate the arrival spec *now*: the fleet has no closed-loop
+    // tenants, and a bad spec must fail here, not as NaN inside the pod
+    // estimate or as a throw on a shard thread.
+    (void)make_arrivals(spec.arrivals);
+    const auto models = setup.workload.chain_models();
+
+    RunConfig rc;
+    rc.slo = spec.slo > 0.0 ? spec.slo : setup.workload.slo(spec.concurrency);
+    rc.concurrency = spec.concurrency;
+    rc.requests = spec.requests;
+    rc.seed = tenant_seed(config.seed, t);
+    rc.open_loop_rate = spec.arrivals.rate;
+    rc.arrivals = spec.arrivals;
+    rc.platform = config.platform;
+    rc.colocation_is_default = false;
+
+    // Steady-state pods per stage (Little's law over the arrival process's
+    // long-run rate), bin-packed onto the shared cluster; the resulting
+    // co-residency becomes the stage's co-location distribution — the
+    // endogenous path from tenant load to interference.
+    const double rate = spec.arrivals.mean_rate();
+    double coresidency_sum = 0.0;
+    for (const auto& model : models) {
+      const Seconds stage_s =
+          model.exec_time(spec.size_mc, spec.concurrency, 1.0, 1.0);
+      const int pods =
+          std::max(1, static_cast<int>(std::ceil(rate * stage_s)));
+      const auto placed = cluster.place_group(pods, spec.size_mc);
+      const double co = ClusterCapacity::mean_coresidency(placed);
+      coresidency_sum += co;
+      rc.colocation_per_stage.push_back(
+          CoLocationDistribution::concentrated(co));
+    }
+    setup.coresidency = coresidency_sum / static_cast<double>(models.size());
+    setup.run = std::move(rc);
+    setups.push_back(std::move(setup));
+  }
+
+  // ---- Execute: one SimEngine per shard, tenants dealt round-robin. ----
+  std::vector<RunResult> results(n);
+  const auto shards = static_cast<std::size_t>(config.shards);
+  const auto run_shard = [&](std::size_t s) {
+    SimEngine engine;
+    std::vector<std::unique_ptr<Platform>> platforms;
+    std::vector<std::unique_ptr<FixedSizingPolicy>> policies;
+    for (std::size_t t = s; t < n; t += shards) {
+      const TenantSetup& setup = setups[t];
+      PlatformConfig pc = setup.run.platform;
+      pc.seed = setup.run.seed ^ 0x9e3779b97f4a7c15ULL;
+      platforms.push_back(std::make_unique<Platform>(
+          engine, pc, setup.workload.chain_models(), setup.run.interference));
+      policies.push_back(std::make_unique<FixedSizingPolicy>(
+          "fixed", std::vector<Millicores>(setup.workload.chain_models().size(),
+                                           config.tenants[t].size_mc)));
+      serve_workload(engine, *platforms.back(), setup.workload,
+                     *policies.back(), setup.run, results[t]);
+    }
+    engine.run();
+  };
+  const auto started = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(shards);
+    pool.parallel_for(shards, run_shard);
+  }
+  const auto finished = std::chrono::steady_clock::now();
+
+  // ---- Aggregate in tenant order (fixed fold => reproducible bits). ----
+  FleetResult out;
+  out.shards = config.shards;
+  out.wall_seconds =
+      std::chrono::duration<double>(finished - started).count();
+  out.cluster_utilization = cluster.utilization();
+  out.overcommitted_pods = cluster.overcommitted_pods();
+  out.fleet_hist = Histogram(0.0, config.hist_max_s, config.hist_bins);
+  double cpu_total = 0.0;
+  std::size_t violations = 0;
+  std::size_t total = 0;
+  out.tenants.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const TenantSpec& spec = config.tenants[t];
+    const RunResult& r = results[t];
+    TenantResult tr;
+    tr.name = spec.name.empty() ? spec.workload + "-" + std::to_string(t)
+                                : spec.name;
+    tr.workload = spec.workload;
+    tr.arrivals = spec.arrivals.kind;
+    tr.requests = static_cast<int>(r.requests.size());
+    tr.slo = setups[t].run.slo;
+    tr.violation_rate = r.violation_rate();
+    tr.mean_cpu_mc = r.mean_cpu();
+    tr.coresidency = setups[t].coresidency;
+    tr.e2e = r.e2e_distribution();
+    tr.e2e_p50 = tr.e2e.percentile(50.0);
+    tr.e2e_p99 = tr.e2e.percentile(99.0);
+    tr.e2e_hist = Histogram(0.0, config.hist_max_s, config.hist_bins);
+    for (double x : tr.e2e.sorted_samples()) tr.e2e_hist.add(x);
+
+    out.fleet_e2e.merge(tr.e2e);
+    out.fleet_hist.merge(tr.e2e_hist);
+    for (const auto& req : r.requests) {
+      cpu_total += req.cpu_mc;
+      violations += req.violated ? 1 : 0;
+    }
+    total += r.requests.size();
+    out.tenants.push_back(std::move(tr));
+  }
+  out.total_requests = total;
+  out.fleet_violation_rate =
+      total > 0 ? static_cast<double>(violations) / static_cast<double>(total)
+                : 0.0;
+  out.fleet_mean_cpu_mc =
+      total > 0 ? cpu_total / static_cast<double>(total) : 0.0;
+  out.fleet_p50 = out.fleet_e2e.percentile(50.0);
+  out.fleet_p99 = out.fleet_e2e.percentile(99.0);
+  return out;
+}
+
+std::vector<TenantSpec> make_tenant_mix(int tenants, int requests_each,
+                                        double base_rate, ArrivalKind kind,
+                                        bool mixed_kinds) {
+  require(tenants >= 1, "tenant mix needs >= 1 tenant");
+  require(requests_each >= 1, "tenant mix needs >= 1 request per tenant");
+  require(base_rate > 0.0, "tenant mix needs a positive base rate");
+  std::vector<TenantSpec> out;
+  out.reserve(static_cast<std::size_t>(tenants));
+  constexpr ArrivalKind kCycle[] = {ArrivalKind::Poisson, ArrivalKind::Mmpp,
+                                    ArrivalKind::Diurnal};
+  for (int i = 0; i < tenants; ++i) {
+    TenantSpec t;
+    t.workload = (i % 2 == 0) ? "ia" : "va";
+    t.name = t.workload + "-" + std::to_string(i);
+    t.requests = requests_each;
+    t.size_mc = 1600 + 100 * (i % 5);
+    t.arrivals.kind = mixed_kinds ? kCycle[i % 3] : kind;
+    t.arrivals.rate = base_rate * (0.8 + 0.05 * static_cast<double>(i % 8));
+    t.arrivals.burst_rate = 3.0 * t.arrivals.rate;
+    t.arrivals.period_s = 300.0 + 60.0 * static_cast<double>(i % 4);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace janus

@@ -1,0 +1,108 @@
+// Sharded multi-tenant fleet simulator.
+//
+// Runs N tenant workloads concurrently: tenants are dealt round-robin
+// across S shards, each shard owns one deterministic SimEngine driven on
+// the shared ThreadPool, and every tenant's randomness derives from the
+// fleet seed and its tenant index alone — so fleet results are
+// bit-identical regardless of the shard count.
+//
+// Tenants contend through a shared ClusterCapacity: each tenant's
+// steady-state pod footprint (Little's law over its arrival process) is
+// bin-packed onto the node pool, and the resulting per-stage co-residency
+// feeds the interference draws via CoLocationDistribution::concentrated.
+// Fleet-wide metrics (latency distribution, histogram, SLO violation rate,
+// CPU cost) fold per-tenant results with EmpiricalDistribution::merge and
+// Histogram::merge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "fleet/arrivals.hpp"
+#include "fleet/cluster.hpp"
+#include "stats/histogram.hpp"
+
+namespace janus {
+
+struct TenantSpec {
+  std::string name;
+  std::string workload = "ia";  // "ia" | "va"
+  /// Open-loop arrival process (rate must be > 0; the fleet has no
+  /// closed-loop tenants — provider traffic does not wait politely).
+  ArrivalSpec arrivals{};
+  int requests = 1000;
+  /// End-to-end SLO; 0 = the workload's default at `concurrency`.
+  Seconds slo = 0.0;
+  Concurrency concurrency = 1;
+  /// Fixed per-stage allocation (the fleet measures load and contention,
+  /// not sizing-policy quality; policy sweeps stay in the paper benches).
+  Millicores size_mc = 1800;
+};
+
+struct FleetConfig {
+  std::vector<TenantSpec> tenants;
+  int shards = 1;
+  std::uint64_t seed = 2026;
+  ClusterConfig cluster{};
+  /// Per-tenant platform template (each tenant gets its own Platform so
+  /// shards never share mutable simulator state).
+  PlatformConfig platform{};
+  /// Fleet-wide latency histogram layout; every tenant uses the same
+  /// layout so the histograms merge exactly.
+  double hist_max_s = 10.0;
+  std::size_t hist_bins = 50;
+};
+
+struct TenantResult {
+  std::string name;
+  std::string workload;
+  ArrivalKind arrivals = ArrivalKind::Poisson;
+  int requests = 0;
+  Seconds slo = 0.0;
+  double violation_rate = 0.0;
+  double mean_cpu_mc = 0.0;
+  double e2e_p50 = 0.0;
+  double e2e_p99 = 0.0;
+  /// Mean same-function co-residency across the tenant's stages, from the
+  /// cluster packing (>= 1; higher means more interference).
+  double coresidency = 1.0;
+  EmpiricalDistribution e2e;
+  Histogram e2e_hist{0.0, 1.0, 1};
+};
+
+struct FleetResult {
+  std::vector<TenantResult> tenants;
+  /// Merged across tenants (in tenant order, so the fold is reproducible).
+  EmpiricalDistribution fleet_e2e;
+  Histogram fleet_hist{0.0, 1.0, 1};
+  std::size_t total_requests = 0;
+  double fleet_violation_rate = 0.0;
+  double fleet_mean_cpu_mc = 0.0;
+  double fleet_p50 = 0.0;
+  double fleet_p99 = 0.0;
+  double cluster_utilization = 0.0;
+  int overcommitted_pods = 0;
+  int shards = 0;
+  /// Wall-clock of the shard execution (not part of the deterministic
+  /// metric set — it is the one machine-dependent field).
+  double wall_seconds = 0.0;
+
+  /// Stable machine-readable rendering (for `janus_cli fleet --json` and
+  /// the fleet benches).
+  std::string to_json() const;
+};
+
+/// Runs the whole fleet; deterministic for a fixed (config minus shards)
+/// at any shard count.  Shards execute on an internally owned ThreadPool.
+FleetResult run_fleet(const FleetConfig& config);
+
+/// Deterministic heterogeneous tenant catalog used by the CLI and the
+/// fleet benches: alternates IA/VA, staggers rates around `base_rate`,
+/// and — when `mixed_kinds` — cycles Poisson/MMPP/diurnal arrivals.
+std::vector<TenantSpec> make_tenant_mix(int tenants, int requests_each,
+                                        double base_rate, ArrivalKind kind,
+                                        bool mixed_kinds);
+
+}  // namespace janus

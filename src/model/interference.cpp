@@ -75,4 +75,18 @@ CoLocationDistribution CoLocationDistribution::for_concurrency(Concurrency c) {
   return dist;
 }
 
+CoLocationDistribution CoLocationDistribution::concentrated(double mean) {
+  CoLocationDistribution dist;
+  if (!(mean > 1.0)) {  // also catches NaN
+    dist.weights = {1.0};
+    return dist;
+  }
+  const double lo = std::floor(mean);
+  const double frac = mean - lo;
+  dist.weights.assign(static_cast<std::size_t>(std::ceil(mean)), 0.0);
+  dist.weights[static_cast<std::size_t>(lo) - 1] = 1.0 - frac;
+  if (frac > 0.0) dist.weights.back() = frac;
+  return dist;
+}
+
 }  // namespace janus

@@ -71,6 +71,13 @@ struct CoLocationDistribution {
   /// Heavier co-location for higher batch concurrency (the paper drives
   /// higher loads through larger batch sizes, which packs more instances).
   static CoLocationDistribution for_concurrency(Concurrency c);
+
+  /// Distribution concentrated at a (possibly fractional) mean count:
+  /// mass split between floor(mean) and ceil(mean) so that mean() equals
+  /// the input (clamped to >= 1).  This is how the fleet feeds endogenous
+  /// co-location — computed from cluster bin-packing — back into the
+  /// interference model.
+  static CoLocationDistribution concentrated(double mean);
 };
 
 }  // namespace janus

@@ -147,4 +147,10 @@ FunctionModel make_micro_function(ResourceDim dim) {
   return FunctionModel(p);
 }
 
+WorkloadSpec workload_by_name(const std::string& name) {
+  if (name == "ia" || name == "IA") return make_ia();
+  if (name == "va" || name == "VA") return make_va();
+  throw_invalid("unknown workload (expected ia or va): " + name);
+}
+
 }  // namespace janus

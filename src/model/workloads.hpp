@@ -44,6 +44,11 @@ WorkloadSpec make_ia();
 /// Video Analyze chain (FE -> ICL -> ICO).
 WorkloadSpec make_va();
 
+/// Catalog lookup by name ("ia"/"IA" or "va"/"VA"; throws otherwise).
+/// Single source of truth for every front end that names workloads
+/// (janus_cli, fleet tenant specs).
+WorkloadSpec workload_by_name(const std::string& name);
+
 /// §II-B micro-benchmark function dominated by `dim` (AES encryption,
 /// Redis read, local-disk write, socket communication).
 FunctionModel make_micro_function(ResourceDim dim);

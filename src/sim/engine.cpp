@@ -3,7 +3,7 @@
 namespace janus {
 
 void SimEngine::schedule_at(Seconds t, std::function<void()> fn) {
-  require(t >= now_, "cannot schedule into the past");
+  if (t < now_) t = now_;  // clamp: the past is served "now" (see header)
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 

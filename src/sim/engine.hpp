@@ -17,7 +17,12 @@ class SimEngine {
  public:
   Seconds now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute simulated time `t` (>= now).
+  /// Schedules `fn` at absolute simulated time `t`.  A `t` earlier than
+  /// now() is clamped to now(): the event fires "as soon as possible",
+  /// after any already-queued events at now() (insertion order still
+  /// breaks the tie).  Load generators that draw arrivals lazily can
+  /// therefore hand the engine a time that slipped into the past without
+  /// special-casing; time never flows backwards.
   void schedule_at(Seconds t, std::function<void()> fn);
 
   /// Schedules `fn` after `delay` seconds (>= 0).

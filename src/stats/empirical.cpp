@@ -61,6 +61,23 @@ double EmpiricalDistribution::fraction_above(double x) const {
   return 1.0 - cdf(x);
 }
 
+void EmpiricalDistribution::merge(const EmpiricalDistribution& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  std::vector<double> merged(sorted_.size() + other.sorted_.size());
+  std::merge(sorted_.begin(), sorted_.end(), other.sorted_.begin(),
+             other.sorted_.end(), merged.begin());
+  const double na = static_cast<double>(sorted_.size());
+  const double nb = static_cast<double>(other.sorted_.size());
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  sorted_ = std::move(merged);
+}
+
 std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_series(
     std::size_t points) const {
   std::vector<std::pair<double, double>> out;

@@ -35,6 +35,14 @@ class EmpiricalDistribution {
   /// entries, suitable for plotting Fig 1a / Fig 4 style CDFs.
   std::vector<std::pair<double, double>> cdf_series(std::size_t points) const;
 
+  /// Merges `other`'s samples into this distribution (union of the two
+  /// sample multisets) in O(n + m); moments combine by Chan's parallel
+  /// update.  Commutative and associative on the samples exactly, and on
+  /// the moments up to floating-point rounding.  Merging with an empty
+  /// distribution is a no-op, so fleet-wide aggregation can fold per-shard
+  /// partials in any grouping.
+  void merge(const EmpiricalDistribution& other);
+
   const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
 
  private:

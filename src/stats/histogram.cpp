@@ -32,6 +32,16 @@ void Histogram::add_n(double x, std::size_t n) noexcept {
   counts_[idx] += n;
 }
 
+void Histogram::merge(const Histogram& other) {
+  require(lo_ == other.lo_ && hi_ == other.hi_ &&
+              counts_.size() == other.counts_.size(),
+          "histogram merge requires identical bucket layouts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 std::size_t Histogram::bin_count(std::size_t i) const {
   require(i < counts_.size(), "histogram bin out of range");
   return counts_[i];

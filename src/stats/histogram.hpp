@@ -16,6 +16,14 @@ class Histogram {
   void add(double x) noexcept;
   void add_n(double x, std::size_t n) noexcept;
 
+  /// Adds `other`'s counts (including under/overflow) into this histogram.
+  /// Both histograms must share the exact bucket layout (lo, hi, bins);
+  /// throws otherwise.  Exactly commutative and associative, so sharded
+  /// fleet aggregation can fold partial histograms in any grouping.
+  void merge(const Histogram& other);
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   std::size_t total() const noexcept { return total_; }
   std::size_t underflow() const noexcept { return underflow_; }
   std::size_t overflow() const noexcept { return overflow_; }

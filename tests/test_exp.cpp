@@ -2,6 +2,8 @@
 // paired-draw contract of the experiment driver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "model/workloads.hpp"
@@ -121,6 +123,99 @@ TEST(Runner, FixedPolicyRunProducesExactSizes) {
     EXPECT_DOUBLE_EQ(r.cpu_mc, 3600.0);
     EXPECT_FALSE(r.violated);  // 10 s SLO is unreachable by IA
   }
+}
+
+TEST(Runner, OpenLoopDeterministicAcrossRuns) {
+  // The open-loop path (overlapping Poisson arrivals) must honor the same
+  // paired-request contract as the closed loop: a fixed RunConfig yields a
+  // bit-identical request sequence on every run.
+  RunConfig config;
+  config.slo = 3.0;
+  config.requests = 120;
+  config.open_loop_rate = 40.0;
+  const auto run_once = [&config] {
+    FixedSizingPolicy policy("fixed", {1500, 1500, 1500});
+    return run_workload(make_ia(), policy, config);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  ASSERT_EQ(a.requests.size(), 120u);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].e2e, b.requests[i].e2e);
+    EXPECT_DOUBLE_EQ(a.requests[i].cpu_mc, b.requests[i].cpu_mc);
+    EXPECT_EQ(a.requests[i].sizes, b.requests[i].sizes);
+  }
+}
+
+TEST(Runner, OpenLoopDrawsAreArrivalIndependent) {
+  // The pre-drawn randomness pairs policies *and* arrival processes: the
+  // draws come from their own stream, so reshaping arrivals (or switching
+  // to open loop) must not change them.
+  RunConfig closed;
+  closed.requests = 50;
+  RunConfig open = closed;
+  open.open_loop_rate = 25.0;
+  RunConfig bursty = open;
+  bursty.arrivals.kind = ArrivalKind::Mmpp;
+  const auto a = draw_requests(make_ia(), closed);
+  const auto b = draw_requests(make_ia(), open);
+  const auto c = draw_requests(make_ia(), bursty);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ws, b[i].ws);
+    EXPECT_EQ(a[i].interference, b[i].interference);
+    EXPECT_EQ(a[i].ws, c[i].ws);
+    EXPECT_EQ(a[i].interference, c[i].interference);
+  }
+}
+
+TEST(Runner, OpenLoopServesAllRequestsForEveryArrivalKind) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal}) {
+    RunConfig config;
+    config.slo = 3.0;
+    config.requests = 80;
+    config.open_loop_rate = 30.0;
+    config.arrivals.kind = kind;
+    FixedSizingPolicy policy("fixed", {1500, 1500, 1500});
+    const RunResult result = run_workload(make_ia(), policy, config);
+    EXPECT_EQ(result.requests.size(), 80u) << to_string(kind);
+  }
+}
+
+TEST(Runner, OpenLoopRateOverrideKeepsMmppShape) {
+  // open_loop_rate above the spec's default burst_rate (50) must not
+  // throw: the override scales the burst rate to preserve the burst/base
+  // ratio instead of leaving a stale absolute value behind.
+  RunConfig config;
+  config.slo = 3.0;
+  config.requests = 60;
+  config.open_loop_rate = 120.0;
+  config.arrivals.kind = ArrivalKind::Mmpp;
+  FixedSizingPolicy policy("fixed", {1500, 1500, 1500});
+  const RunResult result = run_workload(make_ia(), policy, config);
+  EXPECT_EQ(result.requests.size(), 60u);
+}
+
+TEST(Runner, PerStageColocationOverridesGlobal) {
+  RunConfig config;
+  config.requests = 200;
+  // Stage 0 always alone; stages 1-2 heavily co-located.
+  config.colocation_per_stage = {
+      CoLocationDistribution{{1.0}},
+      CoLocationDistribution::concentrated(6.0),
+      CoLocationDistribution::concentrated(6.0)};
+  const auto draws = draw_requests(make_ia(), config);
+  double stage0_max = 0.0, stage1_min = 1e9;
+  for (const auto& d : draws) {
+    stage0_max = std::max(stage0_max, d.interference[0]);
+    stage1_min = std::min(stage1_min, d.interference[1]);
+  }
+  EXPECT_LT(stage0_max, 1.05);  // alone: noise only
+  EXPECT_GT(stage1_min, 1.3);   // contended: real slowdown
+
+  config.colocation_per_stage = {CoLocationDistribution{{1.0}}};  // wrong arity
+  EXPECT_THROW(draw_requests(make_ia(), config), std::invalid_argument);
 }
 
 TEST(Runner, RejectsBadConfig) {

@@ -1,0 +1,305 @@
+// Tests for src/fleet: arrival processes, cluster bin-packing, and the
+// sharded multi-tenant fleet runner's determinism + aggregation contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fleet/arrivals.hpp"
+#include "fleet/cluster.hpp"
+#include "fleet/fleet.hpp"
+
+namespace janus {
+namespace {
+
+// ------------------------------------------------------------- arrivals --
+std::vector<Seconds> arrival_times(const ArrivalSpec& spec, int count,
+                                   std::uint64_t seed) {
+  auto process = make_arrivals(spec);
+  Rng rng(seed);
+  std::vector<Seconds> times;
+  Seconds t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t = process->next(t, rng);
+    times.push_back(t);
+  }
+  return times;
+}
+
+TEST(Arrivals, PoissonMeanRateConverges) {
+  ArrivalSpec spec;
+  spec.rate = 25.0;
+  const auto times = arrival_times(spec, 20000, 7);
+  const double observed = 20000.0 / times.back();
+  EXPECT_NEAR(observed, 25.0, 25.0 * 0.05);
+}
+
+TEST(Arrivals, SequencesAreMonotoneAndDeterministic) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate = 10.0;
+    spec.burst_rate = 40.0;
+    const auto a = arrival_times(spec, 2000, 42);
+    const auto b = arrival_times(spec, 2000, 42);
+    EXPECT_EQ(a, b) << to_string(kind);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      ASSERT_GT(a[i], a[i - 1]) << to_string(kind);
+    }
+    EXPECT_NE(a, arrival_times(spec, 2000, 43)) << to_string(kind);
+  }
+}
+
+TEST(Arrivals, MmppMeanRateBetweenBaseAndBurst) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::Mmpp;
+  spec.rate = 10.0;
+  spec.burst_rate = 60.0;
+  spec.base_dwell_s = 20.0;
+  spec.burst_dwell_s = 4.0;
+  const auto times = arrival_times(spec, 40000, 3);
+  const double observed = 40000.0 / times.back();
+  EXPECT_GT(observed, 10.0);
+  EXPECT_LT(observed, 60.0);
+  // Stationary mean: (10*20 + 60*4) / 24 = 18.33...; the estimator only
+  // sees ~90 dwell cycles, so give it CLT headroom.
+  EXPECT_NEAR(observed, spec.mean_rate(), spec.mean_rate() * 0.25);
+}
+
+TEST(Arrivals, MmppIsBurstier) {
+  // Squared coefficient of variation of interarrivals: 1 for Poisson,
+  // > 1 for a bursty MMPP at the same mean rate.
+  const auto cv2 = [](const std::vector<Seconds>& times) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(times[i] - times[i - 1]);
+    }
+    double mean = 0.0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    double var = 0.0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size() - 1);
+    return var / (mean * mean);
+  };
+  ArrivalSpec poisson;
+  poisson.rate = 20.0;
+  ArrivalSpec mmpp;
+  mmpp.kind = ArrivalKind::Mmpp;
+  mmpp.rate = 5.0;
+  mmpp.burst_rate = 80.0;
+  mmpp.base_dwell_s = 10.0;
+  mmpp.burst_dwell_s = 2.0;
+  EXPECT_NEAR(cv2(arrival_times(poisson, 30000, 9)), 1.0, 0.15);
+  EXPECT_GT(cv2(arrival_times(mmpp, 30000, 9)), 1.5);
+}
+
+TEST(Arrivals, DiurnalTracksRateCurve) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::Diurnal;
+  spec.rate = 20.0;
+  spec.period_s = 100.0;
+  spec.amplitude = 0.9;
+  const auto times = arrival_times(spec, 40000, 5);
+  // Count arrivals in the rising half vs the falling half of each period:
+  // sin > 0 on [0, T/2), < 0 on [T/2, T).
+  std::size_t high = 0, low = 0;
+  for (Seconds t : times) {
+    const double phase = std::fmod(t, spec.period_s) / spec.period_s;
+    (phase < 0.5 ? high : low) += 1;
+  }
+  EXPECT_GT(static_cast<double>(high),
+            1.5 * static_cast<double>(low));  // peak half dominates
+  // Long-run mean still ~rate.
+  EXPECT_NEAR(40000.0 / times.back(), 20.0, 20.0 * 0.10);
+}
+
+TEST(Arrivals, SpecValidation) {
+  ArrivalSpec bad;
+  bad.rate = 0.0;
+  EXPECT_THROW(make_arrivals(bad), std::invalid_argument);
+  ArrivalSpec mmpp;
+  mmpp.kind = ArrivalKind::Mmpp;
+  mmpp.rate = 10.0;
+  mmpp.burst_rate = 5.0;  // below base
+  EXPECT_THROW(make_arrivals(mmpp), std::invalid_argument);
+  ArrivalSpec diurnal;
+  diurnal.kind = ArrivalKind::Diurnal;
+  diurnal.amplitude = 1.5;
+  EXPECT_THROW(make_arrivals(diurnal), std::invalid_argument);
+  EXPECT_EQ(arrival_kind_from_string("mmpp"), ArrivalKind::Mmpp);
+  EXPECT_THROW(arrival_kind_from_string("pareto"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- cluster --
+TEST(Cluster, PacksGroupOntoOneNodeWhenItFits) {
+  ClusterCapacity cluster({4, 10000});
+  const auto placed = cluster.place_group(5, 2000);
+  ASSERT_EQ(placed.size(), 5u);
+  for (int node : placed) EXPECT_EQ(node, placed[0]);
+  EXPECT_DOUBLE_EQ(ClusterCapacity::mean_coresidency(placed), 5.0);
+  EXPECT_EQ(cluster.used_mc(placed[0]), 10000);
+}
+
+TEST(Cluster, SpillsToSecondNodeAtCapacity) {
+  ClusterCapacity cluster({4, 10000});
+  const auto placed = cluster.place_group(7, 2000);
+  // 5 pods fill a node, 2 spill: coresidency (5*5 + 2*2) / 7.
+  EXPECT_NEAR(ClusterCapacity::mean_coresidency(placed), 29.0 / 7.0, 1e-12);
+  EXPECT_EQ(cluster.overcommitted_pods(), 0);
+}
+
+TEST(Cluster, SeparateGroupsAvoidEachOther) {
+  ClusterCapacity cluster({4, 10000});
+  const auto a = cluster.place_group(2, 3000);
+  const auto b = cluster.place_group(2, 3000);
+  // Group b fits on an empty node, so it does not share with group a.
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(Cluster, OvercommitsLeastUsedNodeWhenSaturated) {
+  ClusterCapacity cluster({2, 4000});
+  cluster.place_group(2, 4000);  // both nodes full
+  const auto placed = cluster.place_group(1, 4000);
+  ASSERT_EQ(placed.size(), 1u);
+  EXPECT_EQ(cluster.overcommitted_pods(), 1);
+  EXPECT_GT(cluster.utilization(), 1.0);
+}
+
+TEST(Cluster, ValidationAndAccessors) {
+  EXPECT_THROW(ClusterCapacity({0, 1000}), std::invalid_argument);
+  EXPECT_THROW(ClusterCapacity({2, 0}), std::invalid_argument);
+  ClusterCapacity cluster({2, 1000});
+  EXPECT_THROW(cluster.place_group(1, 0), std::invalid_argument);
+  EXPECT_THROW(cluster.used_mc(9), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cluster.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterCapacity::mean_coresidency({}), 1.0);
+}
+
+// ---------------------------------------------------------------- fleet --
+FleetConfig small_fleet(int shards) {
+  FleetConfig config;
+  config.tenants = make_tenant_mix(5, 150, 8.0, ArrivalKind::Poisson,
+                                   /*mixed_kinds=*/true);
+  config.shards = shards;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Fleet, BitIdenticalAcrossShardCounts) {
+  const FleetResult one = run_fleet(small_fleet(1));
+  for (int shards : {2, 3, 8}) {
+    const FleetResult many = run_fleet(small_fleet(shards));
+    ASSERT_EQ(many.tenants.size(), one.tenants.size());
+    for (std::size_t t = 0; t < one.tenants.size(); ++t) {
+      EXPECT_EQ(one.tenants[t].e2e.sorted_samples(),
+                many.tenants[t].e2e.sorted_samples())
+          << "tenant " << t << " at " << shards << " shards";
+      EXPECT_DOUBLE_EQ(one.tenants[t].violation_rate,
+                       many.tenants[t].violation_rate);
+      EXPECT_DOUBLE_EQ(one.tenants[t].mean_cpu_mc,
+                       many.tenants[t].mean_cpu_mc);
+    }
+    EXPECT_EQ(one.fleet_e2e.sorted_samples(), many.fleet_e2e.sorted_samples());
+    EXPECT_DOUBLE_EQ(one.fleet_p99, many.fleet_p99);
+    EXPECT_DOUBLE_EQ(one.fleet_violation_rate, many.fleet_violation_rate);
+    EXPECT_DOUBLE_EQ(one.fleet_mean_cpu_mc, many.fleet_mean_cpu_mc);
+    for (std::size_t i = 0; i < one.fleet_hist.bins(); ++i) {
+      EXPECT_EQ(one.fleet_hist.bin_count(i), many.fleet_hist.bin_count(i));
+    }
+  }
+}
+
+TEST(Fleet, AggregatesAcrossTenants) {
+  const FleetResult result = run_fleet(small_fleet(2));
+  ASSERT_EQ(result.tenants.size(), 5u);
+  EXPECT_EQ(result.total_requests, 5u * 150u);
+  EXPECT_EQ(result.fleet_e2e.size(), result.total_requests);
+  EXPECT_EQ(result.fleet_hist.total(), result.total_requests);
+  std::size_t expected_violations = 0;
+  for (const auto& tr : result.tenants) {
+    EXPECT_EQ(tr.requests, 150);
+    EXPECT_GE(tr.coresidency, 1.0);
+    expected_violations += static_cast<std::size_t>(
+        std::lround(tr.violation_rate * tr.requests));
+  }
+  EXPECT_NEAR(result.fleet_violation_rate,
+              static_cast<double>(expected_violations) /
+                  static_cast<double>(result.total_requests),
+              1e-9);
+  // The merged distribution brackets every tenant's percentiles.
+  for (const auto& tr : result.tenants) {
+    EXPECT_GE(result.fleet_e2e.max(), tr.e2e.max());
+    EXPECT_LE(result.fleet_e2e.min(), tr.e2e.min());
+  }
+}
+
+TEST(Fleet, ContentionRaisesLatencyForHeavyTenants) {
+  // Same workload at 10x the arrival rate packs ~10x the pods, so the
+  // cluster feedback must slow the heavy tenant down.
+  FleetConfig config;
+  TenantSpec light;
+  light.workload = "ia";
+  light.requests = 150;
+  light.arrivals.rate = 1.0;
+  TenantSpec heavy = light;
+  heavy.arrivals.rate = 40.0;
+  config.tenants = {light, heavy};
+  config.seed = 7;
+  const FleetResult result = run_fleet(config);
+  EXPECT_GT(result.tenants[1].coresidency, result.tenants[0].coresidency);
+  EXPECT_GT(result.tenants[1].e2e_p50, result.tenants[0].e2e_p50);
+}
+
+TEST(Fleet, JsonContainsFleetAndTenantRows) {
+  FleetConfig config = small_fleet(2);
+  config.tenants[1].name = "tenant \"b\"";  // names are free-form: escape
+  const FleetResult result = run_fleet(config);
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(json.find("\"ia-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant \\\"b\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"violation_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\": 2"), std::string::npos);
+}
+
+TEST(Fleet, RejectsBadConfig) {
+  FleetConfig empty;
+  EXPECT_THROW(run_fleet(empty), std::invalid_argument);
+  FleetConfig bad = small_fleet(0);
+  EXPECT_THROW(run_fleet(bad), std::invalid_argument);
+  FleetConfig unknown = small_fleet(1);
+  unknown.tenants[0].workload = "nope";
+  EXPECT_THROW(run_fleet(unknown), std::invalid_argument);
+  // The fleet is open-loop only: a zero-rate (or otherwise invalid)
+  // arrival spec must fail up front, not degrade to a closed loop.
+  FleetConfig stalled = small_fleet(1);
+  stalled.tenants[0].arrivals.rate = 0.0;
+  EXPECT_THROW(run_fleet(stalled), std::invalid_argument);
+  FleetConfig dwell = small_fleet(1);
+  dwell.tenants[0].arrivals.kind = ArrivalKind::Mmpp;
+  dwell.tenants[0].arrivals.base_dwell_s = 0.0;
+  dwell.tenants[0].arrivals.burst_dwell_s = 0.0;
+  dwell.tenants[0].arrivals.burst_rate = 1e9;  // keep burst >= base valid
+  EXPECT_THROW(run_fleet(dwell), std::invalid_argument);
+}
+
+TEST(Fleet, TenantMixIsHeterogeneous) {
+  const auto mix =
+      make_tenant_mix(8, 100, 10.0, ArrivalKind::Poisson, /*mixed=*/true);
+  ASSERT_EQ(mix.size(), 8u);
+  bool saw_va = false, saw_mmpp = false, saw_diurnal = false;
+  for (const auto& t : mix) {
+    saw_va = saw_va || t.workload == "va";
+    saw_mmpp = saw_mmpp || t.arrivals.kind == ArrivalKind::Mmpp;
+    saw_diurnal = saw_diurnal || t.arrivals.kind == ArrivalKind::Diurnal;
+  }
+  EXPECT_TRUE(saw_va);
+  EXPECT_TRUE(saw_mmpp);
+  EXPECT_TRUE(saw_diurnal);
+  EXPECT_NE(mix[0].arrivals.rate, mix[1].arrivals.rate);
+}
+
+}  // namespace
+}  // namespace janus

@@ -165,6 +165,28 @@ TEST(CoLocation, MeanMatchesWeights) {
   EXPECT_DOUBLE_EQ(d.mean(), 1.5);
 }
 
+TEST(CoLocation, ConcentratedHitsFractionalMean) {
+  const auto d = CoLocationDistribution::concentrated(3.4);
+  ASSERT_EQ(d.weights.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.4);
+  // Mass only on floor/ceil of the target.
+  EXPECT_DOUBLE_EQ(d.weights[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.weights[1], 0.0);
+  EXPECT_NEAR(d.weights[2], 0.6, 1e-12);
+  EXPECT_NEAR(d.weights[3], 0.4, 1e-12);
+}
+
+TEST(CoLocation, ConcentratedIntegralAndClamped) {
+  const auto exact = CoLocationDistribution::concentrated(3.0);
+  ASSERT_EQ(exact.weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(exact.mean(), 3.0);
+  const auto alone = CoLocationDistribution::concentrated(0.4);
+  ASSERT_EQ(alone.weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(alone.mean(), 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(alone.sample(rng), 1);
+}
+
 // ------------------------------------------------------------ workloads --
 TEST(Workloads, IaIsThreeFunctionChain) {
   const auto ia = make_ia();

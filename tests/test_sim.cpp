@@ -42,12 +42,31 @@ TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
   EXPECT_DOUBLE_EQ(fired_at, 7.5);
 }
 
-TEST(SimEngine, PastSchedulingThrows) {
+TEST(SimEngine, PastSchedulingClampsToNow) {
+  // Contract: schedule_at with t < now() clamps to now() — the event fires
+  // as soon as possible instead of throwing (negative *delays* still do).
   SimEngine engine;
   engine.schedule_at(1.0, [] {});
   engine.run();
-  EXPECT_THROW(engine.schedule_at(0.5, [] {}), std::invalid_argument);
+  Seconds fired_at = -1.0;
+  engine.schedule_at(0.5, [&] { fired_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);
   EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimEngine, ClampedEventRunsAfterAlreadyQueuedPeers) {
+  // A clamped event lands *behind* events already queued at now(): the
+  // clamp changes its time, not its insertion sequence.
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_at(engine.now(), [&] { order.push_back(1); });
+    engine.schedule_at(2.0, [&] { order.push_back(2); });  // past -> 5.0
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
 }
 
 TEST(SimEngine, RunUntilStopsAtBoundary) {

@@ -138,6 +138,61 @@ TEST(Empirical, EmptyConstructionThrows) {
                std::invalid_argument);
 }
 
+TEST(EmpiricalMerge, EqualsSinglePass) {
+  Rng rng(11);
+  std::vector<double> all, first, second;
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.lognormal(0.0, 0.7);
+    all.push_back(x);
+    (i < 250 ? first : second).push_back(x);
+  }
+  EmpiricalDistribution whole(all);
+  EmpiricalDistribution a(first), b(second);
+  a.merge(b);
+  ASSERT_EQ(a.size(), whole.size());
+  EXPECT_EQ(a.sorted_samples(), whole.sorted_samples());  // exact
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.percentile(99.0), whole.percentile(99.0));
+}
+
+TEST(EmpiricalMerge, Commutative) {
+  EmpiricalDistribution lhs({1, 3, 5});
+  lhs.merge(EmpiricalDistribution({2, 4, 6}));
+  EmpiricalDistribution rhs({2, 4, 6});
+  rhs.merge(EmpiricalDistribution({1, 3, 5}));
+  EXPECT_EQ(lhs.sorted_samples(), rhs.sorted_samples());
+  EXPECT_NEAR(lhs.mean(), rhs.mean(), 1e-12);
+  EXPECT_NEAR(lhs.stddev(), rhs.stddev(), 1e-12);
+}
+
+TEST(EmpiricalMerge, Associative) {
+  const std::vector<double> xs{1, 2}, ys{3, 4}, zs{5, 6};
+  // (x + y) + z
+  EmpiricalDistribution left(xs);
+  left.merge(EmpiricalDistribution(ys));
+  left.merge(EmpiricalDistribution(zs));
+  // x + (y + z)
+  EmpiricalDistribution inner(ys);
+  inner.merge(EmpiricalDistribution(zs));
+  EmpiricalDistribution right(xs);
+  right.merge(inner);
+  EXPECT_EQ(left.sorted_samples(), right.sorted_samples());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.stddev(), right.stddev(), 1e-12);
+}
+
+TEST(EmpiricalMerge, EmptyIsIdentity) {
+  EmpiricalDistribution a({1, 2, 3}), empty;
+  a.merge(empty);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.size(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), a.stddev());
+}
+
 // ------------------------------------------------------------ histogram --
 TEST(Histogram, CountsBucketsAndOverflow) {
   Histogram h(0.0, 10.0, 10);
@@ -169,6 +224,60 @@ TEST(Histogram, RenderContainsBars) {
   h.add_n(0.5, 10);
   const std::string out = h.render(10);
   EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(HistogramMerge, CountsAdd) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(0.5);
+  a.add(-1.0);
+  b.add(0.7);
+  b.add(12.0);
+  b.add(9.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(9), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(HistogramMerge, CommutativeAndAssociative) {
+  const auto filled = [](std::initializer_list<double> xs) {
+    Histogram h(0.0, 5.0, 5);
+    for (double x : xs) h.add(x);
+    return h;
+  };
+  const auto equal = [](const Histogram& x, const Histogram& y) {
+    if (x.total() != y.total() || x.underflow() != y.underflow() ||
+        x.overflow() != y.overflow()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < x.bins(); ++i) {
+      if (x.bin_count(i) != y.bin_count(i)) return false;
+    }
+    return true;
+  };
+  Histogram ab = filled({0.5, 1.5});
+  ab.merge(filled({2.5}));
+  Histogram ba = filled({2.5});
+  ba.merge(filled({0.5, 1.5}));
+  EXPECT_TRUE(equal(ab, ba));
+
+  Histogram left = filled({0.5});
+  left.merge(filled({1.5}));
+  left.merge(filled({2.5}));
+  Histogram inner = filled({1.5});
+  inner.merge(filled({2.5}));
+  Histogram right = filled({0.5});
+  right.merge(inner);
+  EXPECT_TRUE(equal(left, right));
+}
+
+TEST(HistogramMerge, LayoutMismatchThrows) {
+  Histogram a(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 9.0, 10)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 10)), std::invalid_argument);
 }
 
 // -------------------------------------------------------------- summary --

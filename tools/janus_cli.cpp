@@ -7,18 +7,29 @@
 //   janus_cli lookup <hints.csv> <budget-ms>   query a condensed table
 //   janus_cli serve <ia|va> [requests] [slo]   profile, synthesize, serve,
 //                                              print the summary row
+//   janus_cli fleet [flags]                    sharded multi-tenant fleet
+//                                              simulation
+//
+// `serve` and `fleet` accept `--seed N` and `--json` so runs are
+// scriptable: a fixed seed reproduces every simulation metric bit-for-bit
+// (the fleet JSON's wall_seconds field is the one machine-dependent value)
+// and --json swaps the human tables for one machine-readable object on
+// stdout.
 //
 // Everything runs against the built-in workload catalog; CSV files use the
 // same schema as LatencyProfile/HintsTable::to_csv, so tables produced here
 // can be loaded anywhere in the library.
 #include <cstdio>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "fleet/fleet.hpp"
 #include "hints/generator.hpp"
 #include "model/workloads.hpp"
 #include "policy/janus_policy.hpp"
@@ -29,19 +40,125 @@ using namespace janus;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  janus_cli profile <ia|va> <out-dir>\n"
-               "  janus_cli synthesize <ia|va> <out-dir> [weight] [conc]\n"
-               "  janus_cli lookup <hints.csv> <budget-ms>\n"
-               "  janus_cli serve <ia|va> [requests] [slo-seconds]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  janus_cli profile <ia|va> <out-dir>\n"
+      "  janus_cli synthesize <ia|va> <out-dir> [weight] [conc]\n"
+      "  janus_cli lookup <hints.csv> <budget-ms>\n"
+      "  janus_cli serve <ia|va> [requests] [slo-seconds] [--seed N] "
+      "[--json]\n"
+      "  janus_cli fleet [--tenants N] [--requests N] [--shards N] "
+      "[--seed N]\n"
+      "             [--rate R] [--arrivals poisson|mmpp|diurnal|mixed] "
+      "[--json]\n");
   return 2;
 }
 
-WorkloadSpec workload_by_name(const std::string& name) {
-  if (name == "ia" || name == "IA") return make_ia();
-  if (name == "va" || name == "VA") return make_va();
-  throw_invalid("unknown workload (expected ia or va): " + name);
+/// Splits argv into positional arguments and the scriptability flags
+/// shared by serve/fleet.  `seen` records which flags appeared so each
+/// command can reject the ones it does not consume — a flag that parses
+/// but silently does nothing is worse than an error.
+struct Flags {
+  std::uint64_t seed = 2026;
+  bool json = false;
+  int tenants = 8;
+  int requests = 1000;  // per tenant; any explicit non-positive value errors
+  int shards = 4;
+  double rate = 10.0;
+  std::string arrivals = "mixed";
+  std::vector<std::string> seen;
+};
+
+/// Strict numeric parsing: the whole token must be consumed, so typos like
+/// "4x" error instead of silently truncating.
+int parse_int(const std::string& text, const char* flag) {
+  std::size_t used = 0;
+  int v = 0;
+  try {
+    v = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != text.size()) {
+    throw_invalid(std::string(flag) + " expects an integer: " + text);
+  }
+  return v;
+}
+
+double parse_double(const std::string& text, const char* flag) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != text.size()) {
+    throw_invalid(std::string(flag) + " expects a number: " + text);
+  }
+  return v;
+}
+
+bool parse_flags(int argc, char** argv, int first, Flags& flags,
+                 std::vector<std::string>& positional) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) throw_invalid(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      flags.json = true;
+    } else if (arg == "--seed") {
+      // stoull happily wraps "-1" into a huge unsigned value; reject
+      // anything that is not a plain decimal so typos surface.
+      const std::string text = value("--seed");
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        throw_invalid("--seed expects a non-negative integer: " + text);
+      }
+      flags.seed = std::stoull(text);
+    } else if (arg == "--tenants") {
+      flags.tenants = parse_int(value("--tenants"), "--tenants");
+    } else if (arg == "--requests") {
+      flags.requests = parse_int(value("--requests"), "--requests");
+    } else if (arg == "--shards") {
+      flags.shards = parse_int(value("--shards"), "--shards");
+    } else if (arg == "--rate") {
+      flags.rate = parse_double(value("--rate"), "--rate");
+    } else if (arg == "--arrivals") {
+      flags.arrivals = value("--arrivals");
+    } else if (arg.size() > 1 && arg[0] == '-' &&
+               !std::isdigit(static_cast<unsigned char>(arg[1])) &&
+               arg[1] != '.') {
+      // "-1" / "-0.5" are negative numeric positionals (e.g. serve's
+      // [slo] falls back to the workload default when <= 0), not flags.
+      std::fprintf(stderr, "janus_cli: unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      positional.push_back(arg);
+      continue;
+    }
+    flags.seen.push_back(arg);
+  }
+  return true;
+}
+
+/// True when every flag the user passed is in `allowed`; complains about
+/// the first one that is not.
+bool flags_allowed(const Flags& flags,
+                   std::initializer_list<const char*> allowed) {
+  for (const auto& flag : flags.seen) {
+    bool ok = false;
+    for (const char* a : allowed) ok = ok || flag == a;
+    if (!ok) {
+      std::fprintf(stderr, "janus_cli: flag %s is not valid for this command\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 void write_text(const std::string& path, const std::string& text) {
@@ -107,7 +224,8 @@ int cmd_lookup(const std::string& path, BudgetMs budget) {
   return 0;
 }
 
-int cmd_serve(const std::string& name, int requests, Seconds slo) {
+int cmd_serve(const std::string& name, int requests, Seconds slo,
+              const Flags& flags) {
   const WorkloadSpec workload = workload_by_name(name);
   if (slo <= 0.0) slo = workload.slo(1);
   const auto profiles =
@@ -117,7 +235,21 @@ int cmd_serve(const std::string& name, int requests, Seconds slo) {
   RunConfig run;
   run.slo = slo;
   run.requests = requests;
+  run.seed = flags.seed;
   const RunResult result = run_workload(workload, *policy, run);
+  const auto& stats = policy->adapter().stats();
+  if (flags.json) {
+    std::printf(
+        "{\"workload\": \"%s\", \"policy\": \"%s\", \"requests\": %d, "
+        "\"seed\": %llu, \"slo_s\": %.6g, \"mean_cpu_mc\": %.10g, "
+        "\"p99_e2e_s\": %.10g, \"violation_rate\": %.10g, "
+        "\"adapter_lookups\": %llu, \"adapter_miss_rate\": %.10g}\n",
+        workload.name.c_str(), policy->name().c_str(), requests,
+        static_cast<unsigned long long>(flags.seed), slo, result.mean_cpu(),
+        result.e2e_percentile(99), result.violation_rate(),
+        static_cast<unsigned long long>(stats.lookups()), stats.miss_rate());
+    return 0;
+  }
   std::printf("%s", render_table({"policy", "requests", "CPU (mc)",
                                   "P99 E2E (s)", ">SLO"},
                                  {{policy->name(), std::to_string(requests),
@@ -126,10 +258,59 @@ int cmd_serve(const std::string& name, int requests, Seconds slo) {
                                    fmt(100.0 * result.violation_rate(), 2) +
                                        "%"}})
                         .c_str());
-  const auto& stats = policy->adapter().stats();
   std::printf("adapter: %llu lookups, %.2f%% miss rate\n",
               static_cast<unsigned long long>(stats.lookups()),
               100.0 * stats.miss_rate());
+  return 0;
+}
+
+int cmd_fleet(const Flags& flags) {
+  FleetConfig config;
+  const bool mixed = flags.arrivals == "mixed";
+  ArrivalKind kind = ArrivalKind::Poisson;
+  if (!mixed) {
+    try {
+      kind = arrival_kind_from_string(flags.arrivals);
+    } catch (const std::invalid_argument&) {
+      // arrival_kind_from_string owns the kind list; the CLI only layers
+      // the "mixed" pseudo-kind on top, so remind the user it exists.
+      throw_invalid("unknown --arrivals (one of the arrival kinds, or "
+                    "mixed): " +
+                    flags.arrivals);
+    }
+  }
+  // Bad values (e.g. --requests 0) error in make_tenant_mix rather than
+  // silently falling back to a default.
+  config.tenants =
+      make_tenant_mix(flags.tenants, flags.requests, flags.rate, kind, mixed);
+  config.shards = flags.shards;
+  config.seed = flags.seed;
+  const FleetResult result = run_fleet(config);
+  if (flags.json) {
+    std::printf("%s", result.to_json().c_str());
+    return 0;
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& t : result.tenants) {
+    rows.push_back({t.name, to_string(t.arrivals), std::to_string(t.requests),
+                    fmt(t.slo, 1), fmt(t.coresidency, 2), fmt(t.e2e_p50, 3),
+                    fmt(t.e2e_p99, 3), fmt(t.mean_cpu_mc, 0),
+                    fmt(100.0 * t.violation_rate, 1) + "%"});
+  }
+  rows.push_back({"FLEET", "-", std::to_string(result.total_requests), "-",
+                  "-", fmt(result.fleet_p50, 3), fmt(result.fleet_p99, 3),
+                  fmt(result.fleet_mean_cpu_mc, 0),
+                  fmt(100.0 * result.fleet_violation_rate, 1) + "%"});
+  std::printf("%s", render_table({"tenant", "arrivals", "reqs", "SLO (s)",
+                                  "co-res", "P50 (s)", "P99 (s)", "CPU (mc)",
+                                  ">SLO"},
+                                 rows)
+                        .c_str());
+  std::printf(
+      "fleet: %d shards, %.2fs wall, cluster %.0f%% allocated, "
+      "%d overcommitted pods\n",
+      result.shards, result.wall_seconds, 100.0 * result.cluster_utilization,
+      result.overcommitted_pods);
   return 0;
 }
 
@@ -139,21 +320,35 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "profile" && argc == 4) {
-      return cmd_profile(argv[2], argv[3]);
+    Flags flags;
+    std::vector<std::string> pos;
+    if (!parse_flags(argc, argv, 2, flags, pos)) return usage();
+    if (cmd == "profile" && pos.size() == 2) {
+      if (!flags_allowed(flags, {})) return usage();
+      return cmd_profile(pos[0], pos[1]);
     }
-    if (cmd == "synthesize" && argc >= 4) {
-      const double weight = argc > 4 ? std::stod(argv[4]) : 1.0;
-      const Concurrency conc = argc > 5 ? std::stoi(argv[5]) : 1;
-      return cmd_synthesize(argv[2], argv[3], weight, conc);
+    if (cmd == "synthesize" && pos.size() >= 2) {
+      if (!flags_allowed(flags, {})) return usage();
+      const double weight = pos.size() > 2 ? std::stod(pos[2]) : 1.0;
+      const Concurrency conc = pos.size() > 3 ? std::stoi(pos[3]) : 1;
+      return cmd_synthesize(pos[0], pos[1], weight, conc);
     }
-    if (cmd == "lookup" && argc == 4) {
-      return cmd_lookup(argv[2], std::stoll(argv[3]));
+    if (cmd == "lookup" && pos.size() == 2) {
+      if (!flags_allowed(flags, {})) return usage();
+      return cmd_lookup(pos[0], std::stoll(pos[1]));
     }
-    if (cmd == "serve" && argc >= 3) {
-      const int requests = argc > 3 ? std::stoi(argv[3]) : 500;
-      const Seconds slo = argc > 4 ? std::stod(argv[4]) : 0.0;
-      return cmd_serve(argv[2], requests, slo);
+    if (cmd == "serve" && pos.size() >= 1) {
+      if (!flags_allowed(flags, {"--seed", "--json"})) return usage();
+      const int requests = pos.size() > 1 ? std::stoi(pos[1]) : 500;
+      const Seconds slo = pos.size() > 2 ? std::stod(pos[2]) : 0.0;
+      return cmd_serve(pos[0], requests, slo, flags);
+    }
+    if (cmd == "fleet" && pos.empty()) {
+      if (!flags_allowed(flags, {"--tenants", "--requests", "--shards",
+                                 "--seed", "--rate", "--arrivals", "--json"})) {
+        return usage();
+      }
+      return cmd_fleet(flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "janus_cli: %s\n", e.what());
