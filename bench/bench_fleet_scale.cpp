@@ -114,10 +114,13 @@ int main() {
                  reference.total_requests);
     return 1;
   }
-  if (speedup <= 2.0) {
+  // Warn threshold calibrated for a 2-core box: the ladder engine (PR 3)
+  // cut the 1-shard wall ~1.6x, so the remaining parallelizable work caps
+  // the 1->8 ratio well below the pre-ladder ~2.7x.
+  if (speedup <= 1.5) {
     std::fprintf(stderr,
                  "bench_fleet_scale: warning: 1->8 shard speedup %.2fx <= "
-                 "2x on this machine\n",
+                 "1.5x on this machine\n",
                  speedup);
   }
   return 0;

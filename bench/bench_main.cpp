@@ -149,7 +149,10 @@ bool write_json(const std::string& outdir, const BenchResult& result) {
 
 const char kUsage[] =
     "usage: bench_main [--outdir DIR] [--bindir DIR] [--list] "
-    "[all | NAME...]\n";
+    "[--filter SUBSTR] [all | NAME...]\n"
+    "  --filter SUBSTR   run every benchmark whose name contains SUBSTR\n"
+    "                    (e.g. --filter fleet_scale); repeatable, combines\n"
+    "                    with explicit names\n";
 
 int usage() {
   std::fputs(kUsage, stderr);
@@ -181,6 +184,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       for (const auto& name : known) std::printf("%s\n", name.c_str());
       return 0;
+    } else if (arg == "--filter" && i + 1 < argc) {
+      // Substring selection: run one bench (or a family) without typing
+      // exact names or running the full ~15-bench suite.
+      const std::string needle = argv[++i];
+      bool matched = false;
+      for (const auto& name : known) {
+        if (name.find(needle) != std::string::npos) {
+          select(name);
+          matched = true;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "bench_main: --filter %s matches nothing (--list)\n",
+                     needle.c_str());
+        return 2;
+      }
     } else if (arg == "all") {
       for (const auto& name : known) select(name);
     } else if (arg == "--help" || arg == "-h") {

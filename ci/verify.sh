@@ -4,12 +4,22 @@
 #   cmake -B build -S . && cmake --build build -j && \
 #     cd build && ctest --output-on-failure -j
 #
+# On a plain (unsanitized) run two regular steps follow the tier-1 suite:
+#
+#   * TSan pass — the fleet drives the thread pool with real concurrency,
+#     so the concurrency-facing suites (fleet/common/sim) are rebuilt under
+#     -fsanitize=thread in build-thread/ and rerun.  TSAN=0 skips.
+#   * Bench report — the fast benchmarks with committed baselines
+#     (fleet_scale, engine) run once and tools/compare_bench.py diffs their
+#     wall times against bench/baselines/, flagging >20% regressions.
+#     Non-fatal by design: a noisy box reports, it does not fail the
+#     build.  BENCH=0 skips.
+#
 # Opt-in sanitizer mode wires the JANUS_SANITIZE CMake toggle and keeps a
 # separate build tree so instrumented and plain objects never mix:
 #
-#   SANITIZE=address ci/verify.sh    # AddressSanitizer
-#   SANITIZE=thread  ci/verify.sh    # ThreadSanitizer (fleet shards stress
-#                                    # the thread pool)
+#   SANITIZE=address ci/verify.sh    # AddressSanitizer, full suite
+#   SANITIZE=thread  ci/verify.sh    # ThreadSanitizer, full suite
 set -euo pipefail
 
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
@@ -32,5 +42,21 @@ esac
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR"
-ctest --output-on-failure -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+if [[ -z "$SANITIZE" ]]; then
+  if [[ "${TSAN:-1}" != "0" ]]; then
+    echo "== verify: ThreadSanitizer pass (fleet/common/sim suites) =="
+    cmake -B build-thread -S . -DJANUS_SANITIZE=thread
+    cmake --build build-thread -j --target test_fleet test_common test_sim
+    (cd build-thread && ctest -R 'test_(fleet|common|sim)' \
+       --output-on-failure -j)
+  fi
+  if [[ "${BENCH:-1}" != "0" ]]; then
+    echo "== verify: bench wall-time report (non-fatal) =="
+    mkdir -p "$BUILD_DIR/bench-report"
+    "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \
+      fleet_scale engine || true
+    tools/compare_bench.py --fresh "$BUILD_DIR/bench-report" || true
+  fi
+fi

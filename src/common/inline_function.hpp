@@ -1,0 +1,108 @@
+// Move-only callable with fixed inline storage and NO heap fallback.
+//
+// std::function heap-allocates any capture larger than its tiny internal
+// buffer (16 bytes on libstdc++), which puts a malloc/free pair on every
+// simulated event.  InlineFunction instead reserves `Capacity` bytes inline
+// and makes an oversized capture a *compile error at the construction
+// site* — the allocation-free event path is enforced by the type system,
+// not by convention.  Dispatch is one ops-table pointer per object (invoke,
+// relocate, destroy), so moving one is a memcpy-sized relocation and
+// calling one is a single indirect call, same as std::function.
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace janus {
+
+template <typename Sig, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture too large for InlineFunction's inline storage; "
+                  "grow Capacity or shrink the capture");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "capture over-aligned for InlineFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InlineFunction requires nothrow-movable captures");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = ops_of<Fn>();
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  R operator()(Args... args) {
+    // std::function throws bad_function_call here; keep an equally loud
+    // (and diagnosable) failure instead of a null indirect call.
+    if (!ops_) throw std::bad_function_call();
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static const Ops* ops_of() noexcept {
+    static constexpr Ops ops = {
+        [](void* s, Args&&... args) -> R {
+          return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+        },
+        [](void* from, void* to) noexcept {
+          ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+          static_cast<Fn*>(from)->~Fn();
+        },
+        [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); }};
+    return &ops;
+  }
+
+  void take(InlineFunction& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace janus

@@ -2,26 +2,109 @@
 
 namespace janus {
 
-void SimEngine::schedule_at(Seconds t, std::function<void()> fn) {
-  if (t < now_) t = now_;  // clamp: the past is served "now" (see header)
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+SimEngine::~SimEngine() {
+  // Destroy closures of any never-executed events (run_until stopped, or
+  // the owner tore down mid-simulation).
+  for (const EventNode& n : current_) release_slot(n.slot());
+  for (std::size_t r = next_rung_; r < active_rungs_; ++r) {
+    for (const EventNode& n : rungs_[r]) release_slot(n.slot());
+  }
+  for (const EventNode& n : far_) release_slot(n.slot());
 }
 
-void SimEngine::schedule_after(Seconds delay, std::function<void()> fn) {
-  require(delay >= 0.0, "negative delay");
-  schedule_at(now_ + delay, std::move(fn));
+void SimEngine::grow_pool() {
+  require(slabs_.size() * kSlabSlots < (kSlotMask + 1) - kSlabSlots,
+          "event slot space exhausted (16M in-flight events)");
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(slabs_.size() * kSlabSlots);
+  slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+  free_slots_.reserve(slabs_.size() * kSlabSlots);
+  // Reversed so the new slab's slots hand out in ascending order.
+  for (std::size_t i = kSlabSlots; i > 0; --i) {
+    free_slots_.push_back(base + static_cast<std::uint32_t>(i - 1));
+  }
 }
 
-bool SimEngine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-free
-  // here because we pop immediately and Event's members are moved-from only.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
-  ++executed_;
-  ev.fn();
-  return true;
+void SimEngine::rebucket() {
+  // Epoch advance: the ladder is spent, so the far list becomes the new
+  // ladder.  Width adapts to the observed density (~kTargetRungSize events
+  // per bucket); everything is distributed O(1) per event and each bucket
+  // is heapified only when it becomes current.
+  Seconds lo = kInf, hi = -kInf;
+  for (const EventNode& n : far_) {
+    lo = std::min(lo, n.time);
+    hi = std::max(hi, n.time);
+  }
+  std::size_t buckets =
+      std::min(std::max<std::size_t>(far_.size() / kTargetRungSize, 1),
+               kMaxRungs);
+  Seconds width = buckets > 1 ? (hi - lo) / static_cast<Seconds>(buckets) : 0.0;
+  if (!(width > 0.0)) {  // all-equal times (or a single bucket)
+    buckets = 1;
+    width = 1.0;
+  }
+  if (rungs_.size() < buckets) rungs_.resize(buckets);
+  ladder_start_ = lo;
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  // ladder_end_ must sit at or above every time placed in the ladder, so
+  // the far-overflow routing in schedule_at can never send an event behind
+  // one already laddered (lo + width*buckets can round below hi).
+  ladder_end_ = std::max(lo + width * static_cast<Seconds>(buckets), hi);
+  next_rung_ = 0;
+  active_rungs_ = buckets;
+  for (const EventNode& n : far_) {
+    const double didx = (n.time - ladder_start_) * inv_width_;
+    const std::size_t idx = didx >= static_cast<double>(buckets)
+                                ? buckets - 1
+                                : static_cast<std::size_t>(didx);
+    rungs_[idx].push_back(n);
+  }
+  far_.clear();
+}
+
+bool SimEngine::prepare_next() {
+  for (;;) {
+    if (!current_.empty()) return true;
+    while (next_rung_ < active_rungs_) {
+      std::vector<EventNode>& rung = rungs_[next_rung_];
+      ++next_rung_;
+      if (rung.empty()) continue;
+      current_.swap(rung);  // recycles current_'s capacity into the rung
+      const bool last = next_rung_ == active_rungs_;
+      // The last rung's boundary is ladder_end_, NOT infinity: far_ may
+      // already hold events (>= ladder_end_), and an event scheduled
+      // during this drain must join them — inserting it into current_
+      // would let it overtake an older far event with a smaller time.
+      current_end_ = last ? ladder_end_
+                          : ladder_start_ +
+                                width_ * static_cast<Seconds>(next_rung_);
+      if (!last) {
+        // FP stragglers: boundary-time events the index placed one bucket
+        // early.  Push them into the next rung so the current_ invariant
+        // (all times < current_end_) holds exactly.
+        for (std::size_t i = 0; i < current_.size();) {
+          if (current_[i].time >= current_end_) {
+            rungs_[next_rung_].push_back(current_[i]);
+            current_[i] = current_.back();
+            current_.pop_back();
+          } else {
+            ++i;
+          }
+        }
+      }
+      std::make_heap(current_.begin(), current_.end(), Later{});
+      if (!current_.empty()) return true;
+    }
+    if (far_.empty()) {
+      current_end_ = -kInf;  // fully drained: next schedule starts fresh
+      ladder_end_ = -kInf;
+      active_rungs_ = 0;
+      next_rung_ = 0;
+      return false;
+    }
+    rebucket();
+  }
 }
 
 void SimEngine::run() {
@@ -30,7 +113,14 @@ void SimEngine::run() {
 }
 
 void SimEngine::run_until(Seconds t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  // prepare_next materializes the next bucket so its heap root is the
+  // earliest pending event — the peek the boundary test needs.  An event
+  // scheduled at <= t by a firing event is picked up on the next
+  // iteration.
+  while ((!current_.empty() || prepare_next()) &&
+         current_.front().time <= t) {
+    step();
+  }
   if (now_ < t) now_ = t;
 }
 

@@ -1,20 +1,61 @@
 // Discrete-event simulation engine.
 //
-// A minimal calendar: events are (time, sequence, closure) triples executed
-// in time order; ties break by insertion sequence so runs are deterministic.
+// The calendar is a bucketed ladder queue instead of one binary heap:
+//
+//  * `current_` — the bucket being drained, kept as a small binary
+//    min-heap of 16-byte (time, seq|slot) nodes: pops and mid-bucket
+//    inserts cost O(log bucket) sifts over cache-hot nodes, never a
+//    closure move or a vector memmove.
+//  * `rungs_` — the ladder: fixed-width time buckets covering
+//    [ladder_start_, ladder_end_).  Insertion is an O(1) push_back into
+//    the right bucket; a bucket is heapified only when it becomes current.
+//  * `far_` — unsorted overflow for events at or beyond ladder_end_.
+//    When the ladder drains, far_ is re-bucketed into a fresh ladder whose
+//    width adapts to the observed event density (epoch advance).
+//
+// Near-sorted arrival streams (open-loop load generators) make both
+// enqueue and dequeue amortized O(1) versus the heap's O(log n), and the
+// constant factor shrinks further because closures are placement-built
+// directly into a per-engine slot pool (no per-event malloc/free, no
+// relocation) and the ordering structures move 24-byte nodes, not
+// closures.
+//
+// Ordering contract (unchanged from the heap engine, and what keeps fleet
+// metrics bit-identical at any shard count): events execute in strict
+// (time, insertion-seq) order, and a schedule_at with t < now() is clamped
+// to now() — it fires as soon as possible, after any already-queued events
+// at now().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 
 namespace janus {
 
+/// Inline capture budget for one scheduled event.  The largest producer is
+/// Platform's completion closure (this + indices + InvocationOutcome + the
+/// caller's InvokeFn); exp/runner's open-loop arrival closures are far
+/// smaller.  Both are static_asserted against this budget at their
+/// construction sites by InlineFunction itself.  Keep this as small as
+/// those captures allow: slot size times pending events is the pool's
+/// working set, and large-fleet runs keep ~100k events pending.
+inline constexpr std::size_t kEventCaptureBytes = 128;
+using EventFn = InlineFunction<void(), kEventCaptureBytes>;
+
 class SimEngine {
  public:
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+  ~SimEngine();
+
   Seconds now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute simulated time `t`.  A `t` earlier than
@@ -23,40 +64,180 @@ class SimEngine {
   /// breaks the tie).  Load generators that draw arrivals lazily can
   /// therefore hand the engine a time that slipped into the past without
   /// special-casing; time never flows backwards.
-  void schedule_at(Seconds t, std::function<void()> fn);
+  ///
+  /// The callable is placement-built directly into the engine's slot pool
+  /// (through EventFn, which bounds and static_asserts its capture size);
+  /// on the steady-state path scheduling performs zero heap allocations.
+  template <typename F>
+  void schedule_at(Seconds t, F&& fn) {
+    if (t < now_) t = now_;  // clamp: the past is served "now"
+    require(next_seq_ < kMaxSeq, "event sequence space exhausted");
+    const EventNode node{
+        t, (next_seq_++ << kSlotBits) | acquire_slot(std::forward<F>(fn))};
+    ++size_;
+    if (t < current_end_) {
+      // Into the bucket being drained: O(log bucket) sift.  The node's
+      // globally-largest seq makes it drain after already-queued peers at
+      // the same time — the clamp contract.
+      current_.push_back(node);
+      std::push_heap(current_.begin(), current_.end(), Later{});
+    } else if (next_rung_ < active_rungs_ && t < ladder_end_) {
+      // O(1) bucket append.  The double-precision index is weakly
+      // monotone in t, so bucket membership can never invert event order;
+      // the clamps guard the FP edges (a boundary-time event must not
+      // land in a bucket the drain already passed, nor off the ladder).
+      const double didx = (t - ladder_start_) * inv_width_;
+      std::size_t idx = didx >= static_cast<double>(active_rungs_)
+                            ? active_rungs_ - 1
+                            : static_cast<std::size_t>(didx);
+      idx = std::min(std::max(idx, next_rung_), active_rungs_ - 1);
+      rungs_[idx].push_back(node);
+    } else {
+      far_.push_back(node);
+    }
+  }
 
   /// Schedules `fn` after `delay` seconds (>= 0).
-  void schedule_after(Seconds delay, std::function<void()> fn);
+  template <typename F>
+  void schedule_after(Seconds delay, F&& fn) {
+    require(delay >= 0.0, "negative delay");
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Executes the next event; returns false when the calendar is empty.
-  bool step();
+  bool step() {
+    if (current_.empty() && !prepare_next()) return false;
+    std::pop_heap(current_.begin(), current_.end(), Later{});
+    const EventNode node = current_.back();
+    current_.pop_back();
+    --size_;
+    now_ = node.time;
+    ++executed_;
+#if defined(__GNUC__) || defined(__clang__)
+    // Overlap the next closure's (possibly cold) slot fetch with this
+    // event's execution; with 100k+ pending events the pool outgrows
+    // cache and this hides most of the dequeue's DRAM latency.
+    if (!current_.empty()) {
+      __builtin_prefetch(slot_ptr(current_.front().slot()));
+    }
+#endif
+    // Invoke in place — no relocation.  The Slot[] slabs never move even
+    // if a re-entrant schedule_at grows the pool, so the pointer stays
+    // valid; the guard releases the slot after the closure returns — or
+    // during unwinding if it throws, so the capture is still destroyed
+    // (matching the old engine, where the heap Event died with the stack).
+    struct SlotGuard {
+      SimEngine* engine;
+      std::uint32_t slot;
+      ~SlotGuard() { engine->release_slot(slot); }
+    } guard{this, node.slot()};
+    (*slot_ptr(guard.slot))();
+    return true;
+  }
 
   /// Runs until the calendar drains.
   void run();
 
-  /// Runs until simulated time passes `t` or the calendar drains.
+  /// Runs until simulated time passes `t` or the calendar drains.  An
+  /// event at exactly `t` still fires; now() ends at `t` even when the
+  /// calendar drains earlier (or was empty).
   void run_until(Seconds t);
 
-  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t pending() const noexcept { return size_; }
   std::uint64_t executed() const noexcept { return executed_; }
 
  private:
-  struct Event {
+  /// 16-byte calendar node: time plus (seq << 24 | slot).  seq lives in
+  /// the high 40 bits so comparing the packed word compares seq (unique
+  /// per event, so the slot bits never decide anything); the closure lives
+  /// in the slot pool.  Every sort/heap/bucket operation therefore moves
+  /// 16 hot bytes and never touches capture bytes.
+  struct EventNode {
     Seconds time;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint64_t seq_slot;
+
+    std::uint32_t slot() const noexcept {
+      return static_cast<std::uint32_t>(seq_slot & kSlotMask);
+    }
   };
+  static constexpr std::uint64_t kSlotBits = 24;  // 16M in-flight closures
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = 1ULL << (64 - kSlotBits);
+
+  /// Strict (time, seq) total order, expressed as "executes later" so the
+  /// STL heap helpers keep the soonest event at the root.  seq is unique,
+  /// which is what makes the ladder reproduce the reference binary heap's
+  /// execution order exactly.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const EventNode& a, const EventNode& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      return a.seq_slot > b.seq_slot;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr std::size_t kSlabSlots = 256;  // closures per slab
+  static constexpr std::size_t kTargetRungSize = 64;  // events per bucket
+  static constexpr std::size_t kMaxRungs = 1u << 14;
+  struct Slot {
+    alignas(std::max_align_t) unsigned char bytes[sizeof(EventFn)];
+  };
+
+  EventFn* slot_ptr(std::uint32_t slot) noexcept {
+    return reinterpret_cast<EventFn*>(
+        slabs_[slot / kSlabSlots][slot % kSlabSlots].bytes);
+  }
+
+  /// Placement-builds the callable into a pooled slot (freed slots recycle
+  /// LIFO, so the line is usually still hot) and returns its index.
+  template <typename F>
+  std::uint32_t acquire_slot(F&& fn) {
+    if (free_slots_.empty()) grow_pool();
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    ::new (static_cast<void*>(slot_ptr(slot))) EventFn(std::forward<F>(fn));
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) noexcept {
+    slot_ptr(slot)->~EventFn();
+    free_slots_.push_back(slot);
+  }
+
+  void grow_pool();
+
+  /// Materializes the next non-empty bucket (or re-buckets far_) into
+  /// current_; returns false when the whole calendar is empty.
+  bool prepare_next();
+  void rebucket();
+
+  static constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+  // Drain bucket: min-heap on (time, seq); holds events < current_end_.
+  std::vector<EventNode> current_;
+  Seconds current_end_ = -kInf;
+
+  // Ladder: rungs_[i] spans [ladder_start_ + i*width, + width); only
+  // rungs_[next_rung_ .. active_rungs_) still hold events.  rungs_ never
+  // shrinks, so bucket vectors keep their capacity across epochs.
+  std::vector<std::vector<EventNode>> rungs_;
+  std::size_t next_rung_ = 0;
+  std::size_t active_rungs_ = 0;
+  Seconds ladder_start_ = 0.0;
+  Seconds ladder_end_ = -kInf;
+  double inv_width_ = 0.0;
+  Seconds width_ = 0.0;
+
+  // Overflow beyond ladder_end_, re-bucketed on epoch advance.
+  std::vector<EventNode> far_;
+
+  // Closure slot pool: slabs never move, freed slots recycle LIFO.
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<std::uint32_t> free_slots_;
+
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace janus

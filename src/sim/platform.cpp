@@ -17,6 +17,10 @@ Platform::Platform(SimEngine& engine, PlatformConfig config,
   nodes_.resize(static_cast<std::size_t>(config_.nodes),
                 Node{config_.node.capacity_mc, 0});
   pods_per_function_.assign(functions_.size(), 0);
+  idle_.resize(functions_.size() + 1);
+  pending_.resize(functions_.size());
+  busy_per_cell_.assign(nodes_.size() * functions_.size(), 0);
+  pods_per_cell_.assign(nodes_.size() * functions_.size(), 0);
 
   // Pre-warm the generic pool, spread round-robin across nodes (Fission's
   // PoolManager keeps a pool of generic pods that get specialized on first
@@ -27,7 +31,7 @@ Platform::Platform(SimEngine& engine, PlatformConfig config,
     Pod pod;
     pod.node = i % config_.nodes;
     pods_.push_back(pod);
-    idle_[-1].push_back(static_cast<int>(pods_.size()) - 1);
+    idle_[0].push_back(static_cast<int>(pods_.size()) - 1);
   }
 }
 
@@ -39,16 +43,16 @@ const FunctionModel& Platform::function(int fn_index) const {
 }
 
 int Platform::place(int fn_index, Millicores size) {
-  // Count pods of this function per node; prefer the node with the most
-  // (co-location packing), then the least-loaded node with room.
-  std::vector<int> per_node(nodes_.size(), 0);
-  for (const auto& pod : pods_) {
-    if (pod.fn_index == fn_index) ++per_node[static_cast<std::size_t>(pod.node)];
-  }
+  // Prefer the node already hosting the most pods of this function
+  // (co-location packing), then the least-loaded node with room.  The
+  // per-node counts come from the incremental pods_per_cell_ counters, not
+  // a scan over all pods.
   int best = -1;
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     if (nodes_[n].used + size > nodes_[n].capacity) continue;
-    if (best < 0 || per_node[n] > per_node[static_cast<std::size_t>(best)]) {
+    if (best < 0 ||
+        pods_per_cell_[cell(static_cast<int>(n), fn_index)] >
+            pods_per_cell_[cell(best, fn_index)]) {
       best = static_cast<int>(n);
     }
   }
@@ -67,7 +71,7 @@ int Platform::place(int fn_index, Millicores size) {
 
 Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
   // 1. Warm pod already specialized for this function.
-  auto& warm = idle_[fn_index];
+  auto& warm = idle_[static_cast<std::size_t>(fn_index) + 1];
   if (!warm.empty()) {
     const int pod = warm.back();
     warm.pop_back();
@@ -78,7 +82,7 @@ Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
     return {pod, 0.0, false};
   }
   // 2. Specialize a generic pre-warmed pod.
-  auto& generic = idle_[-1];
+  auto& generic = idle_[0];
   const bool can_grow =
       config_.pool.max_pods_per_function <= 0 ||
       pods_per_function_[static_cast<std::size_t>(fn_index)] <
@@ -88,9 +92,18 @@ Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
     generic.pop_back();
     auto& p = pods_[static_cast<std::size_t>(pod)];
     p.fn_index = fn_index;
-    p.node = place(fn_index, size);
+    // Keep the historical placement input: the pod being specialized used
+    // to be counted on its generic (round-robin) node during the pods_
+    // scan, and that +1 participates in packing tie-breaks.  Reproduce it
+    // exactly so placements — and therefore Table I and fleet metrics —
+    // stay bit-identical with the pre-counter code.
+    ++pods_per_cell_[cell(p.node, fn_index)];
+    const int placed = place(fn_index, size);
+    --pods_per_cell_[cell(p.node, fn_index)];
+    p.node = placed;
     p.size = size;
     nodes_[static_cast<std::size_t>(p.node)].used += size;
+    ++pods_per_cell_[cell(p.node, fn_index)];
     ++pods_per_function_[static_cast<std::size_t>(fn_index)];
     return {pod, config_.pool.warm_start_s, false};
   }
@@ -103,26 +116,16 @@ Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
   p.size = size;
   nodes_[static_cast<std::size_t>(p.node)].used += size;
   pods_.push_back(p);
+  ++pods_per_cell_[cell(p.node, fn_index)];
   ++pods_per_function_[static_cast<std::size_t>(fn_index)];
   ++cold_starts_;
   return {static_cast<int>(pods_.size()) - 1, config_.pool.cold_start_s, true};
 }
 
-int Platform::count_busy_colocated(int pod_index) const {
-  const auto& self = pods_[static_cast<std::size_t>(pod_index)];
-  int count = 0;
-  for (const auto& pod : pods_) {
-    if (pod.busy && pod.node == self.node && pod.fn_index == self.fn_index) {
-      ++count;
-    }
-  }
-  return std::max(count, 1);
-}
-
 void Platform::invoke(int fn_index, Millicores size, Concurrency c,
                       double ws_factor,
                       std::optional<double> exogenous_interference,
-                      std::function<void(const InvocationOutcome&)> done) {
+                      InvokeFn done) {
   const FunctionModel& model = function(fn_index);
   require(size > 0, "size must be > 0 millicores");
   require(c >= 1, "concurrency must be >= 1");
@@ -131,8 +134,9 @@ void Platform::invoke(int fn_index, Millicores size, Concurrency c,
   const Acquired got = acquire(fn_index, size);
   if (got.pod < 0) {
     // Scale-out limit hit: queue until a pod of this function frees up.
-    pending_[fn_index].push_back({size, c, ws_factor, exogenous_interference,
-                                  std::move(done), engine_.now()});
+    pending_[static_cast<std::size_t>(fn_index)].push_back(
+        {size, c, ws_factor, exogenous_interference, std::move(done),
+         engine_.now()});
     return;
   }
   start_on_pod(fn_index, got, size, c, ws_factor, exogenous_interference,
@@ -142,7 +146,7 @@ void Platform::invoke(int fn_index, Millicores size, Concurrency c,
 void Platform::start_on_pod(
     int fn_index, const Acquired& got, Millicores size, Concurrency c,
     double ws_factor, std::optional<double> exogenous_interference,
-    Seconds queued_s, std::function<void(const InvocationOutcome&)> done) {
+    Seconds queued_s, InvokeFn done) {
   const FunctionModel& model = function(fn_index);
   auto& pod = pods_[static_cast<std::size_t>(got.pod)];
   pod.busy = true;
@@ -152,7 +156,10 @@ void Platform::start_on_pod(
   outcome.queued_s = queued_s;
   outcome.startup_s = got.startup;
   outcome.cold_start = got.cold;
-  outcome.colocated = count_busy_colocated(got.pod);
+  // Counter already includes this pod (just marked busy), so it is >= 1 —
+  // same value the old O(pods) scan produced.
+  outcome.colocated =
+      std::max(++busy_per_cell_[cell(pod.node, fn_index)], 1);
   if (exogenous_interference.has_value()) {
     outcome.interference = *exogenous_interference;
   } else {
@@ -164,14 +171,15 @@ void Platform::start_on_pod(
   const int pod_index = got.pod;
   engine_.schedule_after(
       outcome.startup_s + outcome.exec_s,
-      [this, pod_index, fn_index, outcome, done = std::move(done)] {
+      [this, pod_index, fn_index, outcome, done = std::move(done)]() mutable {
         auto& p = pods_[static_cast<std::size_t>(pod_index)];
         p.busy = false;
-        idle_[fn_index].push_back(pod_index);
+        --busy_per_cell_[cell(p.node, fn_index)];
+        idle_[static_cast<std::size_t>(fn_index) + 1].push_back(pod_index);
         done(outcome);
 
         // Drain one queued invocation of this function, if any (FIFO).
-        auto& waiting = pending_[fn_index];
+        auto& waiting = pending_[static_cast<std::size_t>(fn_index)];
         if (!waiting.empty()) {
           PendingInvocation next = std::move(waiting.front());
           waiting.erase(waiting.begin());
@@ -185,20 +193,16 @@ void Platform::start_on_pod(
 }
 
 int Platform::peak_colocation(int fn_index) const {
-  std::vector<int> per_node(nodes_.size(), 0);
-  for (const auto& pod : pods_) {
-    if (pod.busy && pod.fn_index == fn_index) {
-      ++per_node[static_cast<std::size_t>(pod.node)];
-    }
-  }
   int peak = 0;
-  for (int n : per_node) peak = std::max(peak, n);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    peak = std::max(peak, busy_per_cell_[cell(static_cast<int>(n), fn_index)]);
+  }
   return peak;
 }
 
 std::size_t Platform::queued_invocations() const noexcept {
   std::size_t total = 0;
-  for (const auto& [fn, waiting] : pending_) total += waiting.size();
+  for (const auto& waiting : pending_) total += waiting.size();
   return total;
 }
 

@@ -16,8 +16,6 @@
 // *endogenous* (derived from the actual number of busy co-located pods).
 #pragma once
 
-#include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -63,6 +61,17 @@ struct InvocationOutcome {
   Seconds total() const noexcept { return queued_s + startup_s + exec_s; }
 };
 
+/// Completion callback for one invocation.  Inline (no heap fallback) so
+/// the platform's completion closure — which embeds one of these — fits a
+/// single EventFn slot and the steady-state event path never allocates.
+/// The budget covers exp/runner's launch_stage capture (two shared_ptrs +
+/// a size) with headroom; an oversized capture fails to compile.  Kept
+/// tight deliberately: this type is embedded in every scheduled completion
+/// event, so its size sets the event slot pool's cache footprint.
+inline constexpr std::size_t kInvokeCaptureBytes = 48;
+using InvokeFn =
+    InlineFunction<void(const InvocationOutcome&), kInvokeCaptureBytes>;
+
 class Platform {
  public:
   Platform(SimEngine& engine, PlatformConfig config,
@@ -80,8 +89,7 @@ class Platform {
   /// multiplier is sampled from the co-location actually present.
   /// `done` fires at completion with the outcome.
   void invoke(int fn_index, Millicores size, Concurrency c, double ws_factor,
-              std::optional<double> exogenous_interference,
-              std::function<void(const InvocationOutcome&)> done);
+              std::optional<double> exogenous_interference, InvokeFn done);
 
   /// Busy same-function pods currently on the node hosting most instances
   /// of `fn_index` (diagnostic; used by tests and the fig1c bench).
@@ -129,7 +137,7 @@ class Platform {
     Concurrency concurrency;
     double ws_factor;
     std::optional<double> exogenous_interference;
-    std::function<void(const InvocationOutcome&)> done;
+    InvokeFn done;
     Seconds enqueued_at;
   };
 
@@ -137,10 +145,13 @@ class Platform {
   void start_on_pod(int fn_index, const Acquired& got, Millicores size,
                     Concurrency c, double ws_factor,
                     std::optional<double> exogenous_interference,
-                    Seconds queued_s,
-                    std::function<void(const InvocationOutcome&)> done);
+                    Seconds queued_s, InvokeFn done);
 
-  int count_busy_colocated(int pod_index) const;
+  /// Flat (node, function) cell index for the incremental counters.
+  std::size_t cell(int node, int fn) const noexcept {
+    return static_cast<std::size_t>(node) * functions_.size() +
+           static_cast<std::size_t>(fn);
+  }
 
   SimEngine& engine_;
   PlatformConfig config_;
@@ -149,11 +160,18 @@ class Platform {
   Rng rng_;
   std::vector<Node> nodes_;
   std::vector<Pod> pods_;
-  // Idle pod indices per function; -1 bucket (generic pool) keyed by -1.
-  std::map<int, std::vector<int>> idle_;
+  // Idle pod indices: slot 0 is the generic pool, slot fn+1 the warm pods
+  // of function fn.  Flat vectors (not a map) — this is touched on every
+  // invocation and completion.
+  std::vector<std::vector<int>> idle_;
   // FIFO of invocations blocked on the scale-out limit, per function.
-  std::map<int, std::vector<PendingInvocation>> pending_;
+  std::vector<std::vector<PendingInvocation>> pending_;
   std::vector<int> pods_per_function_;
+  // Incremental per-(node, function) counters replacing the O(pods) scans
+  // the old code did on every invocation: busy pods (co-location seen by
+  // an invocation) and specialized pods (placement packing preference).
+  std::vector<int> busy_per_cell_;
+  std::vector<int> pods_per_cell_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t invocations_ = 0;
 };

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json artifacts against the committed baselines.
+
+Compares wall_seconds for every benchmark present in BOTH directories and
+flags regressions beyond the threshold (default 20% slower).  Exit code is
+0 unless --fatal is passed AND a regression (or a failed benchmark) was
+found — ci/verify.sh runs it as a non-fatal report, so a slow shared box
+never turns the build red, but the numbers are always in the log.
+
+usage: tools/compare_bench.py [--fresh DIR] [--baselines DIR]
+                              [--threshold PCT] [--fatal]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_dir(path):
+    out = {}
+    if not os.path.isdir(path):
+        return out
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(path, name)) as f:
+                out[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"compare_bench: skipping unreadable {name}: {err}",
+                  file=sys.stderr)
+    return out
+
+
+def main():
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="wall-time diff of BENCH_*.json vs committed baselines")
+    parser.add_argument("--fresh", default=".",
+                        help="directory with freshly emitted BENCH_*.json")
+    parser.add_argument("--baselines",
+                        default=os.path.join(repo, "bench", "baselines"),
+                        help="directory with committed baselines")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="flag runs this percent slower than baseline")
+    parser.add_argument("--fatal", action="store_true",
+                        help="exit 1 on regressions instead of reporting only")
+    args = parser.parse_args()
+
+    fresh = load_dir(args.fresh)
+    base = load_dir(args.baselines)
+    common = sorted(set(fresh) & set(base))
+    if not common:
+        print(f"compare_bench: nothing to compare "
+              f"(fresh={args.fresh!r} has {len(fresh)}, "
+              f"baselines={args.baselines!r} has {len(base)})")
+        return 0
+
+    regressions = []
+    print(f"{'benchmark':<28} {'base (s)':>9} {'fresh (s)':>9} "
+          f"{'delta':>8}  status")
+    print("-" * 66)
+    for name in common:
+        b, f = base[name], fresh[name]
+        bw, fw = b.get("wall_seconds", 0.0), f.get("wall_seconds", 0.0)
+        delta = (fw - bw) / bw * 100.0 if bw > 0 else 0.0
+        status = "ok"
+        if f.get("status") != "ok":
+            status = "FAILED RUN"
+            regressions.append(name)
+        elif delta > args.threshold:
+            status = f"REGRESSION (>{args.threshold:.0f}%)"
+            regressions.append(name)
+        elif delta < -args.threshold:
+            status = "improvement"
+        stem = name[len("BENCH_"):-len(".json")]
+        print(f"{stem:<28} {bw:>9.3f} {fw:>9.3f} {delta:>+7.1f}%  {status}")
+
+    skipped = sorted(set(base) - set(fresh))
+    if skipped:
+        print(f"compare_bench: no fresh run for: "
+              f"{', '.join(n[6:-5] for n in skipped)}")
+    unbaselined = sorted(set(fresh) - set(base))
+    if unbaselined:
+        print(f"compare_bench: no committed baseline for: "
+              f"{', '.join(n[6:-5] for n in unbaselined)} "
+              f"(commit one under bench/baselines/)")
+    if regressions:
+        print(f"compare_bench: {len(regressions)} wall-time regression(s)",
+              file=sys.stderr)
+        return 1 if args.fatal else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
