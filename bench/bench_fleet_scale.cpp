@@ -1,13 +1,23 @@
 // Fleet scale: sweeps shard counts for a fixed 8-tenant fleet serving
 // >= 100k total requests through the sharded multi-tenant simulator, and
-// verifies the determinism contract that makes sharding safe — fleet
-// metrics are bit-identical at every shard count for a fixed seed.
+// verifies the determinism contracts that make sharding safe:
+//
+//   * static path (epoch_s = inf): fleet metrics are bit-identical at
+//     every shard count AND exactly reproduce the pre-control-plane
+//     pipeline's committed reference values (PR 3) — the plan-once path
+//     really is a special case of the control-plane code;
+//   * live path (finite epoch_s + autoscaling): metrics and the epoch
+//     audit trail stay bit-identical at every shard count with the
+//     reconciliation barrier and node-pool autoscaler running.
 //
 // Emitted via bench_main as BENCH_fleet_scale.json.  Reported wall times
 // cover shard execution only (run_fleet's own clock), so the speedup column
 // isolates the sharding win: more engines in flight plus far smaller
 // per-engine event calendars.  Exits nonzero if any shard count changes
-// any fleet metric, or if the sweep serves fewer requests than promised.
+// any fleet metric, if the static path drifts from the PR 3 reference, or
+// if the sweep serves fewer requests than promised.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "exp/report.hpp"
@@ -20,6 +30,13 @@ namespace {
 constexpr int kTenants = 8;
 constexpr int kRequestsPerTenant = 12500;  // 8 x 12500 = 100k total
 
+// Static-path fleet metrics recorded from the pre-control-plane pipeline
+// (PR 3, seed 2026) at the JSON emitter's 10-significant-digit precision.
+constexpr double kPr3P50 = 1.854526668;
+constexpr double kPr3P99 = 3.206886065;
+constexpr double kPr3MeanCpu = 5287.5;
+constexpr double kPr3ViolationRate = 0.41328;
+
 FleetConfig fleet_config(int shards) {
   FleetConfig config;
   config.tenants = make_tenant_mix(kTenants, kRequestsPerTenant,
@@ -28,6 +45,44 @@ FleetConfig fleet_config(int shards) {
   config.shards = shards;
   config.seed = 2026;
   return config;
+}
+
+FleetConfig live_config(int shards) {
+  FleetConfig config = fleet_config(shards);
+  config.epoch_s = 60.0;  // ~1250 s of sim time => ~20 barriers
+  config.autoscale.enabled = true;
+  config.autoscale.scale_out_latency_epochs = 1;
+  return config;
+}
+
+bool close10(double a, double b) {
+  // Equal at the 10-significant-digit precision the reference was
+  // recorded at.
+  return std::abs(a - b) <=
+         1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+bool epoch_logs_identical(const FleetResult& a, const FleetResult& b) {
+  if (a.epochs != b.epochs || a.final_nodes != b.final_nodes ||
+      a.nodes_added != b.nodes_added || a.nodes_removed != b.nodes_removed ||
+      a.epoch_log.size() != b.epoch_log.size()) {
+    return false;
+  }
+  for (std::size_t e = 0; e < a.epoch_log.size(); ++e) {
+    const EpochSnapshot& x = a.epoch_log[e];
+    const EpochSnapshot& y = b.epoch_log[e];
+    if (x.sim_time != y.sim_time || x.nodes != y.nodes ||
+        x.pending_nodes != y.pending_nodes ||
+        x.utilization != y.utilization ||
+        x.nodes_ordered != y.nodes_ordered ||
+        x.nodes_added != y.nodes_added ||
+        x.nodes_removed != y.nodes_removed ||
+        x.groups_resized != y.groups_resized ||
+        x.displaced_pods != y.displaced_pods) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool metrics_identical(const FleetResult& a, const FleetResult& b) {
@@ -97,16 +152,75 @@ int main() {
                                  rows)
                         .c_str());
 
+  // ---- Live control plane: same sweep with epochs + autoscaling on. ----
+  std::printf("%s",
+              banner("Control plane: epoch feedback + autoscale, shard sweep")
+                  .c_str());
+  FleetResult live_reference;
+  bool live_identical = true;
+  std::vector<std::vector<std::string>> live_rows;
+  for (int shards : sweep) {
+    const FleetResult result = run_fleet(live_config(shards));
+    const bool match = shards == 1 ||
+                       (metrics_identical(live_reference, result) &&
+                        epoch_logs_identical(live_reference, result));
+    live_identical = live_identical && match;
+    if (shards == 1) live_reference = result;
+    live_rows.push_back({std::to_string(shards), fmt(result.wall_seconds, 3),
+                         std::to_string(result.epochs),
+                         std::to_string(result.final_nodes),
+                         "+" + std::to_string(result.nodes_added) + "/-" +
+                             std::to_string(result.nodes_removed),
+                         fmt(result.fleet_p99, 3),
+                         fmt(100.0 * result.fleet_violation_rate, 2) + "%",
+                         match ? "yes" : "NO"});
+  }
+  std::printf("%s", render_table({"shards", "wall (s)", "epochs", "nodes",
+                                  "+/-", "P99 (s)", ">SLO", "identical"},
+                                 live_rows)
+                        .c_str());
+
   const double speedup = wall_8 > 0.0 ? wall_1 / wall_8 : 0.0;
+  const bool pr3_exact = close10(reference.fleet_p50, kPr3P50) &&
+                         close10(reference.fleet_p99, kPr3P99) &&
+                         close10(reference.fleet_mean_cpu_mc, kPr3MeanCpu) &&
+                         close10(reference.fleet_violation_rate,
+                                 kPr3ViolationRate);
   std::printf("requests_total: %zu\n", reference.total_requests);
   std::printf("tenants: %zu\n", reference.tenants.size());
   std::printf("bit_identical: %s\n", identical ? "yes" : "no");
+  std::printf("bit_identical_with_control_plane: %s\n",
+              live_identical ? "yes" : "no");
+  std::printf("static_path_matches_pr3: %s\n", pr3_exact ? "yes" : "no");
+  std::printf("control_epochs: %d\n", live_reference.epochs);
   std::printf("speedup_1_to_8: %.2f\n", speedup);
 
   if (!identical) {
     std::fprintf(stderr,
                  "bench_fleet_scale: fleet metrics changed with the shard "
                  "count — determinism contract broken\n");
+    return 1;
+  }
+  if (!live_identical) {
+    std::fprintf(stderr,
+                 "bench_fleet_scale: metrics or epoch log changed with the "
+                 "shard count under epoch feedback + autoscaling — "
+                 "reconciliation is not deterministic\n");
+    return 1;
+  }
+  if (!pr3_exact) {
+    std::fprintf(stderr,
+                 "bench_fleet_scale: epoch_s = inf no longer reproduces the "
+                 "PR 3 static-path metrics (p50 %.9f vs %.9f, p99 %.9f vs "
+                 "%.9f)\n",
+                 reference.fleet_p50, kPr3P50, reference.fleet_p99, kPr3P99);
+    return 1;
+  }
+  if (live_reference.epochs < 2) {
+    std::fprintf(stderr,
+                 "bench_fleet_scale: control plane ran %d epochs — the live "
+                 "sweep did not exercise reconciliation\n",
+                 live_reference.epochs);
     return 1;
   }
   if (reference.total_requests < 100000) {

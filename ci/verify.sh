@@ -10,10 +10,11 @@
 #     so the concurrency-facing suites (fleet/common/sim) are rebuilt under
 #     -fsanitize=thread in build-thread/ and rerun.  TSAN=0 skips.
 #   * Bench report — the fast benchmarks with committed baselines
-#     (fleet_scale, engine) run once and tools/compare_bench.py diffs their
-#     wall times against bench/baselines/, flagging >20% regressions.
-#     Non-fatal by design: a noisy box reports, it does not fail the
-#     build.  BENCH=0 skips.
+#     (fleet_scale, engine, autoscale) run once and tools/compare_bench.py
+#     diffs their wall times against bench/baselines/, flagging >20%
+#     regressions as warnings and failing the build past 35% (far beyond
+#     scheduler noise) or on a benchmark that exits nonzero.  BENCH=0
+#     skips.
 #
 # Opt-in sanitizer mode wires the JANUS_SANITIZE CMake toggle and keeps a
 # separate build tree so instrumented and plain objects never mix:
@@ -53,10 +54,14 @@ if [[ -z "$SANITIZE" ]]; then
        --output-on-failure -j)
   fi
   if [[ "${BENCH:-1}" != "0" ]]; then
-    echo "== verify: bench wall-time report (non-fatal) =="
+    echo "== verify: bench wall-time report (fatal past 35%) =="
+    # Fresh directory every run: a stale JSON from a previous run must
+    # never satisfy the comparison, and a bench that fails (or vanishes)
+    # must fail the build, so no '|| true' here.
+    rm -rf "$BUILD_DIR/bench-report"
     mkdir -p "$BUILD_DIR/bench-report"
     "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \
-      fleet_scale engine || true
-    tools/compare_bench.py --fresh "$BUILD_DIR/bench-report" || true
+      fleet_scale engine autoscale
+    tools/compare_bench.py --fresh "$BUILD_DIR/bench-report" --fatal-pct 35
   fi
 fi

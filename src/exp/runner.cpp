@@ -35,13 +35,23 @@ std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
                                        const RunConfig& config) {
   require(config.requests > 0, "run needs >= 1 request");
   const auto models = workload.chain_models();
-  require(config.colocation_per_stage.empty() ||
-              config.colocation_per_stage.size() == models.size(),
-          "per-stage co-location needs one distribution per chain stage");
+  require(config.colocation_provider == nullptr ||
+              config.colocation_provider->stages() == models.size(),
+          "co-location provider needs one distribution per chain stage");
   const CoLocationDistribution coloc =
       config.colocation_is_default
           ? CoLocationDistribution::for_concurrency(config.concurrency)
           : config.colocation;
+  // Snapshot the provider's distributions once: the pre-draw must consume
+  // the rng stream identically on every call (paired requests), even when
+  // a live provider shifts under it mid-run.
+  std::vector<CoLocationDistribution> per_stage;
+  if (config.colocation_provider != nullptr) {
+    per_stage.reserve(models.size());
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      per_stage.push_back(config.colocation_provider->stage_distribution(s));
+    }
+  }
   Rng rng = Rng(config.seed).split(0x5eedULL);
   std::vector<RequestDraw> draws;
   draws.reserve(static_cast<std::size_t>(config.requests));
@@ -51,8 +61,7 @@ std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
       const auto& model = models[s];
       draw.ws.push_back(model.sample_ws(config.concurrency, rng));
       const CoLocationDistribution& dist =
-          config.colocation_per_stage.empty() ? coloc
-                                              : config.colocation_per_stage[s];
+          per_stage.empty() ? coloc : per_stage[s];
       const int n = dist.sample(rng);
       draw.interference.push_back(
           config.interference.sample_multiplier(model.dim(), n, rng));
@@ -67,6 +76,7 @@ namespace {
 /// Per-request execution state machine driven by platform callbacks.
 struct InFlight {
   const RequestDraw* draw = nullptr;
+  std::size_t index = 0;  // request index (live interference rng stream)
   std::size_t stage = 0;
   Seconds elapsed = 0.0;
   RequestRecord record;
@@ -86,10 +96,21 @@ struct ServeState {
   bool endogenous_interference = false;
   bool closed_loop = false;
   std::size_t next_request = 0;  // closed-loop cursor
+  // Live co-location feed (epoch-driven): the multiplier is drawn at
+  // stage-launch time from the distribution in effect *now*.  The rng for
+  // request r / stage s is derived from (seed, r, s) alone, so neither
+  // event interleaving nor the shard count can shift any draw — only the
+  // epoch's distribution can.
+  const CoLocationProvider* live_feed = nullptr;
+  Rng live_rng_base{0};
+  std::vector<ResourceDim> dims;
+  InterferenceModel interference;
 };
 
 void start_request(const std::shared_ptr<ServeState>& st,
-                   const RequestDraw* draw);
+                   const std::shared_ptr<InFlight>& req);
+std::shared_ptr<InFlight> make_request(const std::shared_ptr<ServeState>& st,
+                                       std::size_t index);
 
 void launch_stage(const std::shared_ptr<ServeState>& st,
                   const std::shared_ptr<InFlight>& req) {
@@ -97,7 +118,16 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
       st->policy->size_for_stage(req->stage, req->elapsed, *req->draw);
   std::optional<double> exo;
   if (!st->endogenous_interference) {
-    exo = req->draw->interference[req->stage];
+    if (st->live_feed != nullptr) {
+      Rng rng =
+          st->live_rng_base.split(req->index * st->stages + req->stage);
+      const CoLocationDistribution dist =
+          st->live_feed->stage_distribution(req->stage);
+      const int n = dist.sample(rng);
+      exo = st->interference.sample_multiplier(st->dims[req->stage], n, rng);
+    } else {
+      exo = req->draw->interference[req->stage];
+    }
   }
   st->platform->invoke(
       static_cast<int>(req->stage), size, st->concurrency,
@@ -119,16 +149,22 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
           // Next request enters the moment this one finished — the
           // paper's sequential measurement loop, expressed as an event
           // chain so the engine can be shared.
-          start_request(st, &st->draws[st->next_request++]);
+          start_request(st, make_request(st, st->next_request++));
         }
       });
 }
 
-void start_request(const std::shared_ptr<ServeState>& st,
-                   const RequestDraw* draw) {
+std::shared_ptr<InFlight> make_request(const std::shared_ptr<ServeState>& st,
+                                       std::size_t index) {
   auto req = std::make_shared<InFlight>();
-  req->draw = draw;
-  st->policy->on_request_start(*draw);
+  req->draw = &st->draws[index];
+  req->index = index;
+  return req;
+}
+
+void start_request(const std::shared_ptr<ServeState>& st,
+                   const std::shared_ptr<InFlight>& req) {
+  st->policy->on_request_start(*req->draw);
   launch_stage(st, req);
 }
 
@@ -147,6 +183,15 @@ void serve_workload(SimEngine& engine, Platform& platform,
   st->slo = config.slo;
   st->concurrency = config.concurrency;
   st->endogenous_interference = config.endogenous_interference;
+  if (config.colocation_provider != nullptr &&
+      config.colocation_provider->live()) {
+    st->live_feed = config.colocation_provider;
+    st->live_rng_base = Rng(config.seed).split(0x11feULL);
+    st->interference = config.interference;
+    for (const auto& model : workload.chain_models()) {
+      st->dims.push_back(model.dim());
+    }
+  }
 
   out.policy_name = policy.name();
   out.slo = config.slo;
@@ -167,13 +212,14 @@ void serve_workload(SimEngine& engine, Platform& platform,
     Seconds t = engine.now();
     for (std::size_t i = 0; i < st->draws.size(); ++i) {
       t = process->next(t, arrivals);
-      engine.schedule_at(t, [st, d = &st->draws[i]] { start_request(st, d); });
+      engine.schedule_at(t,
+                         [st, i] { start_request(st, make_request(st, i)); });
     }
   } else {
     // Closed loop: one request at a time (the paper's 1000-request runs).
     st->closed_loop = true;
     st->next_request = 1;
-    start_request(st, &st->draws[0]);
+    start_request(st, make_request(st, 0));
   }
 }
 

@@ -34,11 +34,16 @@ struct RunConfig {
   /// Co-location distribution; default derives from `concurrency`.
   CoLocationDistribution colocation{};
   bool colocation_is_default = true;
-  /// Per-stage co-location distributions; when non-empty (one entry per
-  /// chain stage) they override `colocation`.  The fleet simulator fills
-  /// these from its cluster bin-packing, which is how endogenous
-  /// co-location reaches the interference draws.
-  std::vector<CoLocationDistribution> colocation_per_stage{};
+  /// Per-stage co-location source; when set (one distribution per chain
+  /// stage) it overrides `colocation` and must outlive the run.  The fleet
+  /// fills this from its cluster bin-packing — a StaticCoLocation snapshot
+  /// for the plan-once path, or a live epoch feed whose distributions the
+  /// control plane shifts at every reconciliation barrier.  For a live
+  /// provider the stage multiplier is drawn at stage-launch time from a
+  /// per-(request, stage) derived rng stream, so the draw is a pure
+  /// function of (seed, request, stage, epoch) and stays bit-identical at
+  /// any shard count.
+  const CoLocationProvider* colocation_provider = nullptr;
   /// Open-loop arrivals at this rate (requests/s); 0 = closed loop
   /// (sequential requests, the paper's measurement setup).  The arrival
   /// *process* is pluggable via `arrivals`; this rate overrides

@@ -9,6 +9,7 @@ const char* to_string(ArrivalKind kind) noexcept {
     case ArrivalKind::Poisson: return "poisson";
     case ArrivalKind::Mmpp: return "mmpp";
     case ArrivalKind::Diurnal: return "diurnal";
+    case ArrivalKind::Trace: return "trace";
   }
   return "?";
 }
@@ -17,8 +18,10 @@ ArrivalKind arrival_kind_from_string(const std::string& name) {
   if (name == "poisson") return ArrivalKind::Poisson;
   if (name == "mmpp") return ArrivalKind::Mmpp;
   if (name == "diurnal") return ArrivalKind::Diurnal;
-  throw_invalid("unknown arrival kind (expected poisson, mmpp, or diurnal): " +
-                name);
+  if (name == "trace") return ArrivalKind::Trace;
+  throw_invalid(
+      "unknown arrival kind (expected poisson, mmpp, diurnal, or trace): " +
+      name);
 }
 
 double ArrivalSpec::mean_rate() const {
@@ -27,6 +30,13 @@ double ArrivalSpec::mean_rate() const {
       // Time-weighted average over the two states' stationary shares.
       return (rate * base_dwell_s + burst_rate * burst_dwell_s) /
              (base_dwell_s + burst_dwell_s);
+    case ArrivalKind::Trace: {
+      Seconds total = 0.0;
+      for (Seconds gap : trace_gaps) total += gap;
+      return total > 0.0
+                 ? static_cast<double>(trace_gaps.size()) / total
+                 : 0.0;
+    }
     case ArrivalKind::Poisson:
     case ArrivalKind::Diurnal:
       return rate;
@@ -37,7 +47,10 @@ double ArrivalSpec::mean_rate() const {
 namespace {
 
 void validate_common(const ArrivalSpec& spec) {
-  require(spec.rate > 0.0, "arrival rate must be > 0");
+  // A trace defines its own rate; everything else needs the knob.
+  if (spec.kind != ArrivalKind::Trace) {
+    require(spec.rate > 0.0, "arrival rate must be > 0");
+  }
 }
 
 class PoissonArrivals final : public ArrivalProcess {
@@ -123,6 +136,31 @@ class DiurnalArrivals final : public ArrivalProcess {
   ArrivalSpec spec_;
 };
 
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(const ArrivalSpec& spec) : gaps_(spec.trace_gaps) {
+    require(!gaps_.empty(), "trace replay needs >= 1 inter-arrival gap");
+    for (Seconds gap : gaps_) {
+      require(gap > 0.0, "trace inter-arrival gaps must be > 0");
+    }
+  }
+
+  ArrivalKind kind() const noexcept override { return ArrivalKind::Trace; }
+
+  Seconds next(Seconds now, Rng& rng) override {
+    // Pure replay: no randomness consumed; the cursor loops over the
+    // recorded gaps so requests can outnumber samples deterministically.
+    (void)rng;
+    const Seconds gap = gaps_[cursor_];
+    cursor_ = (cursor_ + 1) % gaps_.size();
+    return now + gap;
+  }
+
+ private:
+  std::vector<Seconds> gaps_;
+  std::size_t cursor_ = 0;
+};
+
 }  // namespace
 
 std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec) {
@@ -134,6 +172,8 @@ std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec) {
       return std::make_unique<MmppArrivals>(spec);
     case ArrivalKind::Diurnal:
       return std::make_unique<DiurnalArrivals>(spec);
+    case ArrivalKind::Trace:
+      return std::make_unique<TraceArrivals>(spec);
   }
   throw_invalid("unknown arrival kind");
 }

@@ -11,6 +11,10 @@
 //     dwell times (bursty tenant traffic).
 //   * Diurnal  — a sinusoidal rate curve sampled by Lewis-Shedler
 //     thinning (slow daily load swing).
+//   * Trace    — deterministic replay of a recorded inter-arrival vector
+//     (synthesized by model/trace_synth or loaded from a CSV), looping
+//     when requests outnumber samples, so fleet tenants can follow
+//     recorded production rhythms instead of parametric processes.
 //
 // The split between arrival process, service model, and measurement follows
 // load-generator practice (cf. mutated's generator/config separation): the
@@ -19,13 +23,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace janus {
 
-enum class ArrivalKind { Poisson, Mmpp, Diurnal };
+enum class ArrivalKind { Poisson, Mmpp, Diurnal, Trace };
 
 const char* to_string(ArrivalKind kind) noexcept;
 
@@ -48,6 +53,12 @@ struct ArrivalSpec {
   Seconds period_s = 600.0;
   /// Peak-to-mean swing in [0, 1]: rate(t) = rate * (1 + a sin(2πt/T)).
   double amplitude = 0.5;
+  // --- Trace ---
+  /// Inter-arrival gaps in seconds, replayed in order and looped
+  /// deterministically when requests outnumber samples.  All gaps must be
+  /// > 0 (arrival sequences are strictly monotone); `rate` is ignored —
+  /// the trace defines its own rate.
+  std::vector<Seconds> trace_gaps{};
 
   /// Long-run mean arrival rate of the process (used for capacity
   /// planning, e.g. the fleet's pod estimates).

@@ -1,11 +1,20 @@
 #include "fleet/cluster.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace janus {
 
 ClusterCapacity::ClusterCapacity(ClusterConfig config) : config_(config) {
   require(config.nodes > 0, "cluster needs >= 1 node");
   require(config.node_capacity_mc > 0, "node capacity must be > 0");
   used_.assign(static_cast<std::size_t>(config.nodes), 0);
+}
+
+int ClusterCapacity::pending_nodes() const noexcept {
+  int total = 0;
+  for (const auto& order : orders_) total += order.second;
+  return total;
 }
 
 Millicores ClusterCapacity::used_mc(int node) const {
@@ -21,12 +30,11 @@ double ClusterCapacity::utilization() const {
                   static_cast<double>(used_.size()));
 }
 
-std::vector<int> ClusterCapacity::place_group(int count, Millicores pod_mc) {
-  require(count >= 0, "pod count must be >= 0");
-  require(pod_mc > 0, "pod size must be > 0");
-  std::vector<int> per_node(used_.size(), 0);  // this group's pods per node
-  std::vector<int> assignment;
-  assignment.reserve(static_cast<std::size_t>(count));
+void ClusterCapacity::pack_pods(Group& group, int count) {
+  const Millicores pod_mc = group.pod_mc;
+  // This group's pods per node, from its current placement.
+  std::vector<int> per_node(used_.size(), 0);
+  for (int n : group.nodes) ++per_node[static_cast<std::size_t>(n)];
   for (int p = 0; p < count; ++p) {
     int best = -1;
     for (std::size_t n = 0; n < used_.size(); ++n) {
@@ -54,13 +62,173 @@ std::vector<int> ClusterCapacity::place_group(int count, Millicores pod_mc) {
     }
     used_[static_cast<std::size_t>(best)] += pod_mc;
     ++per_node[static_cast<std::size_t>(best)];
-    assignment.push_back(best);
+    group.nodes.push_back(best);
   }
-  return assignment;
+}
+
+void ClusterCapacity::release_pods(Group& group, int count) {
+  std::vector<int> per_node(used_.size(), 0);
+  for (int n : group.nodes) ++per_node[static_cast<std::size_t>(n)];
+  for (int p = 0; p < count; ++p) {
+    // Release from the node where the group is thinnest (spills unwind
+    // before the packed core), ties to the highest index.
+    int victim = -1;
+    for (std::size_t n = 0; n < used_.size(); ++n) {
+      if (per_node[n] == 0) continue;
+      if (victim < 0 ||
+          per_node[n] <= per_node[static_cast<std::size_t>(victim)]) {
+        victim = static_cast<int>(n);
+      }
+    }
+    require(victim >= 0, "release_pods: group has no pods left");
+    used_[static_cast<std::size_t>(victim)] -= group.pod_mc;
+    --per_node[static_cast<std::size_t>(victim)];
+    // Drop the last placement entry on that node, keeping earlier order.
+    for (std::size_t i = group.nodes.size(); i > 0; --i) {
+      if (group.nodes[i - 1] == victim) {
+        group.nodes.erase(group.nodes.begin() +
+                          static_cast<std::ptrdiff_t>(i - 1));
+        break;
+      }
+    }
+  }
+}
+
+int ClusterCapacity::add_group(int count, Millicores pod_mc) {
+  require(count >= 0, "pod count must be >= 0");
+  // A zero-pod group is legal (an idle stage); only a real placement
+  // needs a real pod size.
+  require(count == 0 || pod_mc > 0, "pod size must be > 0");
+  Group group;
+  group.pod_mc = pod_mc;
+  groups_.push_back(std::move(group));
+  pack_pods(groups_.back(), count);
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+std::vector<int> ClusterCapacity::place_group(int count, Millicores pod_mc) {
+  return groups_[static_cast<std::size_t>(add_group(count, pod_mc))].nodes;
+}
+
+const std::vector<int>& ClusterCapacity::assignment(int group) const {
+  require(group >= 0 && static_cast<std::size_t>(group) < groups_.size(),
+          "group id out of range");
+  return groups_[static_cast<std::size_t>(group)].nodes;
+}
+
+double ClusterCapacity::group_coresidency(int group) const {
+  return mean_coresidency(assignment(group));
+}
+
+void ClusterCapacity::resize_group(int group, int count) {
+  require(group >= 0 && static_cast<std::size_t>(group) < groups_.size(),
+          "group id out of range");
+  require(count >= 0, "pod count must be >= 0");
+  Group& g = groups_[static_cast<std::size_t>(group)];
+  const int current = static_cast<int>(g.nodes.size());
+  if (count > current) {
+    require(g.pod_mc > 0, "cannot grow a group placed with zero-size pods");
+    pack_pods(g, count - current);
+  } else if (count < current) {
+    release_pods(g, current - count);
+  }
+}
+
+int ClusterCapacity::remove_one_node() {
+  // Victim: the emptiest node, ties to the highest index (so renumbering
+  // disturbs as few assignments as possible).
+  int victim = 0;
+  for (std::size_t n = 1; n < used_.size(); ++n) {
+    if (used_[n] <= used_[static_cast<std::size_t>(victim)]) {
+      victim = static_cast<int>(n);
+    }
+  }
+  // Evict the victim's pods, group by group in id order.
+  std::vector<int> displaced(groups_.size(), 0);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    Group& group = groups_[g];
+    for (std::size_t i = group.nodes.size(); i > 0; --i) {
+      if (group.nodes[i - 1] == victim) {
+        group.nodes.erase(group.nodes.begin() +
+                          static_cast<std::ptrdiff_t>(i - 1));
+        used_[static_cast<std::size_t>(victim)] -= group.pod_mc;
+        ++displaced[g];
+      }
+    }
+  }
+  // Retire the node and renumber every assignment past it.
+  used_.erase(used_.begin() + victim);
+  for (Group& group : groups_) {
+    for (int& n : group.nodes) {
+      if (n > victim) --n;
+    }
+  }
+  // Re-pack the displaced pods, groups in id order — the deterministic
+  // scale-in repacking.
+  int total = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (displaced[g] > 0) pack_pods(groups_[g], displaced[g]);
+    total += displaced[g];
+  }
+  return total;
+}
+
+ClusterCapacity::ScaleEvent ClusterCapacity::autoscale_step(
+    const AutoscaleConfig& cfg) {
+  ScaleEvent event;
+  // Mature pending orders first: a node ordered with latency L becomes
+  // usable on the L-th step after the order.
+  for (auto& order : orders_) --order.first;
+  for (std::size_t i = 0; i < orders_.size();) {
+    if (orders_[i].first <= 0) {
+      used_.insert(used_.end(), static_cast<std::size_t>(orders_[i].second),
+                   0);
+      event.added += orders_[i].second;
+      orders_.erase(orders_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (!cfg.enabled) return event;
+  require(cfg.min_nodes >= 1 && cfg.max_nodes >= cfg.min_nodes,
+          "autoscale node bounds must satisfy 1 <= min <= max");
+  require(cfg.max_step_nodes >= 1, "autoscale step must be >= 1 node");
+  require(cfg.scale_in_utilization < cfg.scale_out_utilization,
+          "autoscale band must satisfy scale_in < scale_out");
+
+  const double u = utilization();
+  const int total = nodes() + pending_nodes();
+  if (u > cfg.scale_out_utilization && total < cfg.max_nodes) {
+    // Order enough nodes to bring allocation back to the target, counting
+    // nodes already on order so back-to-back hot epochs don't double-buy.
+    double used_total = 0.0;
+    for (Millicores m : used_) used_total += static_cast<double>(m);
+    const int want = static_cast<int>(
+        std::ceil(used_total / (cfg.scale_out_utilization *
+                                static_cast<double>(config_.node_capacity_mc))));
+    const int deficit =
+        std::min({want - total, cfg.max_step_nodes, cfg.max_nodes - total});
+    if (deficit > 0) {
+      if (cfg.scale_out_latency_epochs <= 0) {
+        used_.insert(used_.end(), static_cast<std::size_t>(deficit), 0);
+        event.added += deficit;
+      } else {
+        orders_.emplace_back(cfg.scale_out_latency_epochs, deficit);
+        event.ordered = deficit;
+      }
+    }
+  } else if (u < cfg.scale_in_utilization) {
+    while (event.removed < cfg.max_step_nodes && nodes() > cfg.min_nodes &&
+           utilization() < cfg.scale_in_utilization) {
+      event.displaced_pods += remove_one_node();
+      ++event.removed;
+    }
+  }
+  return event;
 }
 
 double ClusterCapacity::mean_coresidency(const std::vector<int>& assignment) {
-  if (assignment.empty()) return 1.0;
+  if (assignment.empty()) return 0.0;
   int max_node = 0;
   for (int n : assignment) max_node = n > max_node ? n : max_node;
   std::vector<int> per_node(static_cast<std::size_t>(max_node) + 1, 0);

@@ -1,0 +1,91 @@
+#include "fleet/control.hpp"
+
+#include <algorithm>
+
+namespace janus {
+
+void EpochFeed::set_stage(std::size_t stage, CoLocationDistribution dist) {
+  require(stage < per_stage_.size(),
+          "epoch feed does not cover this chain stage");
+  per_stage_[stage] = std::move(dist);
+}
+
+ControlPlane::ControlPlane(ClusterConfig cluster, ControlConfig config)
+    : cluster_(cluster), config_(config) {
+  require(config.epoch_s > 0.0, "epoch length must be > 0 (or kNoEpochs)");
+}
+
+EpochFeed& ControlPlane::plan_tenant(const std::vector<int>& stage_pods,
+                                     Millicores pod_mc) {
+  require(!stage_pods.empty(), "tenant needs >= 1 chain stage");
+  TenantGroups groups;
+  groups.group_ids.reserve(stage_pods.size());
+  for (int pods : stage_pods) {
+    groups.group_ids.push_back(cluster_.add_group(pods, pod_mc));
+  }
+  tenants_.push_back(std::move(groups));
+  feeds_.emplace_back(stage_pods.size(), live());
+  broadcast(tenants_.size() - 1);
+  return feeds_.back();
+}
+
+void ControlPlane::broadcast(std::size_t tenant) {
+  const TenantGroups& groups = tenants_[tenant];
+  EpochFeed& feed = feeds_[tenant];
+  for (std::size_t s = 0; s < groups.group_ids.size(); ++s) {
+    feed.set_stage(s, CoLocationDistribution::concentrated(
+                          cluster_.group_coresidency(groups.group_ids[s])));
+  }
+}
+
+void ControlPlane::reconcile(Seconds sim_time,
+                             const std::vector<std::vector<int>>& observed) {
+  require(live(), "reconcile needs a finite epoch length");
+  require(observed.size() == tenants_.size(),
+          "reconcile needs one observation row per tenant");
+  EpochSnapshot snap;
+  snap.epoch = static_cast<int>(history_.size());
+  snap.sim_time = sim_time;
+  // Merge in tenant-index order — the fixed fold that keeps the packing a
+  // pure function of (epoch, fleet seed, tenant set) at any shard count.
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantGroups& groups = tenants_[t];
+    require(observed[t].size() == groups.group_ids.size(),
+            "reconcile needs one observation per tenant stage");
+    for (std::size_t s = 0; s < groups.group_ids.size(); ++s) {
+      // An idle stage still keeps one warm pod; demand never drops to 0.
+      const int want = std::max(1, observed[t][s]);
+      const int group = groups.group_ids[s];
+      if (want != static_cast<int>(cluster_.assignment(group).size())) {
+        cluster_.resize_group(group, want);
+        ++snap.groups_resized;
+      }
+    }
+  }
+  const ClusterCapacity::ScaleEvent event =
+      cluster_.autoscale_step(config_.autoscale);
+  snap.nodes_ordered = event.ordered;
+  snap.nodes_added = event.added;
+  snap.nodes_removed = event.removed;
+  snap.displaced_pods = event.displaced_pods;
+  snap.nodes = cluster_.nodes();
+  snap.pending_nodes = cluster_.pending_nodes();
+  snap.utilization = cluster_.utilization();
+  // Broadcast the post-repack co-residency (scale-in may have moved pods).
+  for (std::size_t t = 0; t < tenants_.size(); ++t) broadcast(t);
+  history_.push_back(snap);
+}
+
+double ControlPlane::tenant_coresidency(std::size_t tenant) const {
+  require(tenant < tenants_.size(), "tenant index out of range");
+  const TenantGroups& groups = tenants_[tenant];
+  double total = 0.0;
+  for (int group : groups.group_ids) {
+    // Reporting matches the plan-time convention: a pod is co-resident at
+    // least with itself, so an empty (idle) stage reads as 1.
+    total += std::max(1.0, cluster_.group_coresidency(group));
+  }
+  return total / static_cast<double>(groups.group_ids.size());
+}
+
+}  // namespace janus

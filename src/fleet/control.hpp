@@ -1,0 +1,131 @@
+// Epoch-based fleet control plane.
+//
+// Replaces the plan-once cluster snapshot with a closed loop between what
+// the shards' Platforms actually ran and the co-residency the interference
+// draws see:
+//
+//   every epoch_s of simulated time, all shards pause at a barrier and
+//   publish, per (tenant, stage), the peak number of concurrently busy
+//   pods their Platform observed; the control plane merges the
+//   observations in tenant-index order, resizes each stage's pod group on
+//   the shared ClusterCapacity (autoscaling the node pool as it goes), and
+//   broadcasts the new per-stage co-residency through each tenant's
+//   EpochFeed.
+//
+// Determinism contract: a tenant's simulation between barriers is a pure
+// function of its own seed and the feed state (never of shard layout), so
+// the observations — and therefore the merged epoch state — are a pure
+// function of (epoch index, fleet seed, tenant set).  Fleet metrics stay
+// bit-identical at any shard count, with the control loop running.
+//
+// epoch_s = infinity is the plan-once special case: the feed freezes at
+// the Little's-law plan packing and the runner pre-draws from it, which
+// reproduces the static pipeline exactly.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fleet/cluster.hpp"
+#include "model/interference.hpp"
+
+namespace janus {
+
+/// "Never reconcile": the plan-once static path.
+inline constexpr Seconds kNoEpochs = std::numeric_limits<Seconds>::infinity();
+
+struct ControlConfig {
+  /// Simulated seconds between reconciliation barriers; kNoEpochs (the
+  /// default) disables the loop and freezes the plan-time packing.
+  Seconds epoch_s = kNoEpochs;
+  AutoscaleConfig autoscale{};
+};
+
+/// One reconciliation barrier's outcome (the deterministic audit trail —
+/// compared bit-for-bit across shard counts by the tests and benches).
+struct EpochSnapshot {
+  int epoch = 0;
+  Seconds sim_time = 0.0;
+  int nodes = 0;
+  int pending_nodes = 0;
+  double utilization = 0.0;
+  int nodes_ordered = 0;
+  int nodes_added = 0;
+  int nodes_removed = 0;
+  int groups_resized = 0;
+  int displaced_pods = 0;
+};
+
+/// Per-tenant co-location source, updated by the control plane at each
+/// barrier and read by the tenant's serve_workload stage launches.  Writes
+/// and reads never overlap: shards only run between barriers, and the
+/// ThreadPool's dispatch/join orders the accesses.
+class EpochFeed final : public CoLocationProvider {
+ public:
+  EpochFeed(std::size_t stages, bool live) : per_stage_(stages), live_(live) {}
+
+  CoLocationDistribution stage_distribution(std::size_t stage) const override {
+    require(stage < per_stage_.size(),
+            "epoch feed does not cover this chain stage");
+    return per_stage_[stage];
+  }
+  std::size_t stages() const noexcept override { return per_stage_.size(); }
+  bool live() const noexcept override { return live_; }
+
+  void set_stage(std::size_t stage, CoLocationDistribution dist);
+
+ private:
+  std::vector<CoLocationDistribution> per_stage_;
+  bool live_ = false;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(ClusterConfig cluster, ControlConfig config);
+
+  bool live() const noexcept { return config_.epoch_s != kNoEpochs; }
+  Seconds epoch_s() const noexcept { return config_.epoch_s; }
+
+  /// Plan-time registration: places `stage_pods[s]` pods of `pod_mc`
+  /// millicores per stage (the Little's-law estimate) and returns the
+  /// tenant's feed, initialized to the plan packing.  The reference stays
+  /// valid for the ControlPlane's lifetime.
+  EpochFeed& plan_tenant(const std::vector<int>& stage_pods,
+                         Millicores pod_mc);
+
+  /// One reconciliation barrier at simulated time `sim_time`:
+  /// `observed[t][s]` is tenant t's stage-s pod demand (peak busy pods
+  /// this epoch; clamped to >= 1 — an idle stage still keeps one pod
+  /// warm).  Merges in tenant-index order, autoscales, rebroadcasts.
+  void reconcile(Seconds sim_time,
+                 const std::vector<std::vector<int>>& observed);
+
+  std::size_t tenants() const noexcept { return tenants_.size(); }
+  /// Tenant's current mean co-residency across stages (reporting).
+  double tenant_coresidency(std::size_t tenant) const;
+
+  const ClusterCapacity& cluster() const noexcept { return cluster_; }
+  int epochs_run() const noexcept { return static_cast<int>(history_.size()); }
+  const std::vector<EpochSnapshot>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  struct TenantGroups {
+    std::vector<int> group_ids;  // one cluster group per chain stage
+  };
+
+  /// Pushes the current packing of tenant t into its feed.
+  void broadcast(std::size_t tenant);
+
+  ClusterCapacity cluster_;
+  ControlConfig config_;
+  std::deque<EpochFeed> feeds_;  // deque: stable addresses across growth
+  std::vector<TenantGroups> tenants_;
+  std::vector<EpochSnapshot> history_;
+};
+
+}  // namespace janus

@@ -27,7 +27,6 @@ std::uint64_t tenant_seed(std::uint64_t fleet_seed, std::size_t tenant) {
 struct TenantSetup {
   WorkloadSpec workload;
   RunConfig run;
-  double coresidency = 1.0;
 };
 
 std::string fmt_double(double v) {
@@ -63,6 +62,10 @@ std::string FleetResult::to_json() const {
      << ", \"p99_e2e_s\": " << fmt_double(fleet_p99)
      << ", \"cluster_utilization\": " << fmt_double(cluster_utilization)
      << ", \"overcommitted_pods\": " << overcommitted_pods << "},\n"
+     << "  \"control\": {\"epochs\": " << epochs
+     << ", \"final_nodes\": " << final_nodes
+     << ", \"nodes_added\": " << nodes_added
+     << ", \"nodes_removed\": " << nodes_removed << "},\n"
      << "  \"wall_seconds\": " << fmt_double(wall_seconds) << "\n}\n";
   return os.str();
 }
@@ -75,7 +78,8 @@ FleetResult run_fleet(const FleetConfig& config) {
           "fleet histogram layout must be non-degenerate");
 
   // ---- Plan (shard-independent): workloads, seeds, cluster packing. ----
-  ClusterCapacity cluster(config.cluster);
+  ControlPlane control(config.cluster,
+                       ControlConfig{config.epoch_s, config.autoscale});
   std::vector<TenantSetup> setups;
   setups.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
@@ -94,60 +98,94 @@ FleetResult run_fleet(const FleetConfig& config) {
     rc.concurrency = spec.concurrency;
     rc.requests = spec.requests;
     rc.seed = tenant_seed(config.seed, t);
-    rc.open_loop_rate = spec.arrivals.rate;
+    // Trace replay carries its own rhythm: the open-loop gate just needs a
+    // positive rate (the process ignores it), so use the trace's mean.
+    rc.open_loop_rate = spec.arrivals.kind == ArrivalKind::Trace
+                            ? spec.arrivals.mean_rate()
+                            : spec.arrivals.rate;
     rc.arrivals = spec.arrivals;
     rc.platform = config.platform;
     rc.colocation_is_default = false;
 
     // Steady-state pods per stage (Little's law over the arrival process's
-    // long-run rate), bin-packed onto the shared cluster; the resulting
-    // co-residency becomes the stage's co-location distribution — the
-    // endogenous path from tenant load to interference.
+    // long-run rate) seed the control plane's packing; its feed becomes
+    // the tenant's co-location source — frozen on the static path, shifted
+    // at every barrier on the live path.
     const double rate = spec.arrivals.mean_rate();
-    double coresidency_sum = 0.0;
+    std::vector<int> stage_pods;
+    stage_pods.reserve(models.size());
     for (const auto& model : models) {
       const Seconds stage_s =
           model.exec_time(spec.size_mc, spec.concurrency, 1.0, 1.0);
-      const int pods =
-          std::max(1, static_cast<int>(std::ceil(rate * stage_s)));
-      const auto placed = cluster.place_group(pods, spec.size_mc);
-      const double co = ClusterCapacity::mean_coresidency(placed);
-      coresidency_sum += co;
-      rc.colocation_per_stage.push_back(
-          CoLocationDistribution::concentrated(co));
+      stage_pods.push_back(
+          std::max(1, static_cast<int>(std::ceil(rate * stage_s))));
     }
-    setup.coresidency = coresidency_sum / static_cast<double>(models.size());
+    rc.colocation_provider = &control.plan_tenant(stage_pods, spec.size_mc);
     setup.run = std::move(rc);
     setups.push_back(std::move(setup));
   }
 
-  // ---- Execute: one SimEngine per shard, tenants dealt round-robin. ----
+  // ---- Execute: one SimEngine per shard, tenants dealt round-robin,
+  // engines advanced epoch by epoch with a reconciliation barrier between.
   std::vector<RunResult> results(n);
   const auto shards = static_cast<std::size_t>(config.shards);
-  const auto run_shard = [&](std::size_t s) {
-    SimEngine engine;
-    std::vector<std::unique_ptr<Platform>> platforms;
-    std::vector<std::unique_ptr<FixedSizingPolicy>> policies;
-    for (std::size_t t = s; t < n; t += shards) {
-      const TenantSetup& setup = setups[t];
-      PlatformConfig pc = setup.run.platform;
-      pc.seed = setup.run.seed ^ 0x9e3779b97f4a7c15ULL;
-      platforms.push_back(std::make_unique<Platform>(
-          engine, pc, setup.workload.chain_models(), setup.run.interference));
-      policies.push_back(std::make_unique<FixedSizingPolicy>(
-          "fixed", std::vector<Millicores>(setup.workload.chain_models().size(),
-                                           config.tenants[t].size_mc)));
-      serve_workload(engine, *platforms.back(), setup.workload,
-                     *policies.back(), setup.run, results[t]);
-    }
-    engine.run();
-  };
+  std::vector<std::unique_ptr<SimEngine>> engines;
+  engines.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    engines.push_back(std::make_unique<SimEngine>());
+  }
+  std::vector<std::unique_ptr<Platform>> platforms;
+  std::vector<std::unique_ptr<FixedSizingPolicy>> policies;
+  platforms.reserve(n);
+  policies.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const TenantSetup& setup = setups[t];
+    SimEngine& engine = *engines[t % shards];
+    PlatformConfig pc = setup.run.platform;
+    pc.seed = setup.run.seed ^ 0x9e3779b97f4a7c15ULL;
+    platforms.push_back(std::make_unique<Platform>(
+        engine, pc, setup.workload.chain_models(), setup.run.interference));
+    policies.push_back(std::make_unique<FixedSizingPolicy>(
+        "fixed", std::vector<Millicores>(setup.workload.chain_models().size(),
+                                         config.tenants[t].size_mc)));
+    serve_workload(engine, *platforms[t], setup.workload, *policies[t],
+                   setup.run, results[t]);
+  }
+
   const auto started = std::chrono::steady_clock::now();
   {
     ThreadPool pool(shards);
-    pool.parallel_for(shards, run_shard);
+    Seconds epoch_end = control.live() ? control.epoch_s() : kNoEpochs;
+    for (;;) {
+      // Advance every shard to the barrier (run_until(inf) = run to
+      // drain — the static path does exactly one pass).
+      pool.parallel_for(shards, [&](std::size_t s) {
+        engines[s]->run_until(epoch_end);
+      });
+      bool pending = false;
+      for (const auto& engine : engines) {
+        pending = pending || engine->pending() > 0;
+      }
+      if (!pending || !control.live()) break;
+      // Reconcile: shards publish the per-(tenant, stage) pod demand their
+      // Platforms actually observed this epoch (peak concurrently-busy
+      // pods), in tenant-index order.
+      std::vector<std::vector<int>> observed(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t stages = setups[t].workload.chain_models().size();
+        observed[t].reserve(stages);
+        for (std::size_t s = 0; s < stages; ++s) {
+          observed[t].push_back(
+              platforms[t]->peak_busy_for(static_cast<int>(s)));
+        }
+        platforms[t]->reset_peak_busy();
+      }
+      control.reconcile(epoch_end, observed);
+      epoch_end += control.epoch_s();
+    }
   }
   const auto finished = std::chrono::steady_clock::now();
+  const ClusterCapacity& cluster = control.cluster();
 
   // ---- Aggregate in tenant order (fixed fold => reproducible bits). ----
   FleetResult out;
@@ -156,6 +194,13 @@ FleetResult run_fleet(const FleetConfig& config) {
       std::chrono::duration<double>(finished - started).count();
   out.cluster_utilization = cluster.utilization();
   out.overcommitted_pods = cluster.overcommitted_pods();
+  out.epochs = control.epochs_run();
+  out.final_nodes = cluster.nodes();
+  out.epoch_log = control.history();
+  for (const EpochSnapshot& snap : out.epoch_log) {
+    out.nodes_added += snap.nodes_added;
+    out.nodes_removed += snap.nodes_removed;
+  }
   out.fleet_hist = Histogram(0.0, config.hist_max_s, config.hist_bins);
   double cpu_total = 0.0;
   std::size_t violations = 0;
@@ -173,7 +218,7 @@ FleetResult run_fleet(const FleetConfig& config) {
     tr.slo = setups[t].run.slo;
     tr.violation_rate = r.violation_rate();
     tr.mean_cpu_mc = r.mean_cpu();
-    tr.coresidency = setups[t].coresidency;
+    tr.coresidency = control.tenant_coresidency(t);
     tr.e2e = r.e2e_distribution();
     tr.e2e_p50 = tr.e2e.percentile(50.0);
     tr.e2e_p99 = tr.e2e.percentile(99.0);

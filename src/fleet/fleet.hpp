@@ -6,10 +6,14 @@
 // fleet seed and its tenant index alone — so fleet results are
 // bit-identical regardless of the shard count.
 //
-// Tenants contend through a shared ClusterCapacity: each tenant's
-// steady-state pod footprint (Little's law over its arrival process) is
-// bin-packed onto the node pool, and the resulting per-stage co-residency
-// feeds the interference draws via CoLocationDistribution::concentrated.
+// Tenants contend through a shared ClusterCapacity driven by the epoch
+// control plane (fleet/control): the plan-time packing seeds each stage's
+// pod group from Little's law, and — when epoch_s is finite — every epoch
+// all shards pause at a reconciliation barrier, publish the pod counts
+// their Platforms actually ran, and receive the repacked (and possibly
+// autoscaled) co-residency back through live EpochFeeds, so interference
+// draws shift mid-run.  epoch_s = kNoEpochs freezes the plan packing: the
+// old static pipeline as a one-epoch special case of the same code.
 // Fleet-wide metrics (latency distribution, histogram, SLO violation rate,
 // CPU cost) fold per-tenant results with EmpiricalDistribution::merge and
 // Histogram::merge.
@@ -22,6 +26,7 @@
 #include "exp/runner.hpp"
 #include "fleet/arrivals.hpp"
 #include "fleet/cluster.hpp"
+#include "fleet/control.hpp"
 #include "stats/histogram.hpp"
 
 namespace janus {
@@ -53,6 +58,12 @@ struct FleetConfig {
   /// layout so the histograms merge exactly.
   double hist_max_s = 10.0;
   std::size_t hist_bins = 50;
+  /// Simulated seconds between cross-shard reconciliation barriers; the
+  /// default (kNoEpochs = infinity) freezes the plan-time packing — the
+  /// pre-control-plane static pipeline as a one-epoch special case.
+  Seconds epoch_s = kNoEpochs;
+  /// Node-pool autoscaler (acts at epoch barriers; inert without them).
+  AutoscaleConfig autoscale{};
 };
 
 struct TenantResult {
@@ -85,6 +96,14 @@ struct FleetResult {
   double cluster_utilization = 0.0;
   int overcommitted_pods = 0;
   int shards = 0;
+  // ---- Control plane (all deterministic; part of the bit-identical set).
+  /// Reconciliation barriers that ran (0 on the static path).
+  int epochs = 0;
+  int final_nodes = 0;
+  int nodes_added = 0;
+  int nodes_removed = 0;
+  /// Per-barrier audit trail (empty on the static path).
+  std::vector<EpochSnapshot> epoch_log;
   /// Wall-clock of the shard execution (not part of the deterministic
   /// metric set — it is the one machine-dependent field).
   double wall_seconds = 0.0;

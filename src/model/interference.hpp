@@ -80,4 +80,41 @@ struct CoLocationDistribution {
   static CoLocationDistribution concentrated(double mean);
 };
 
+/// Source of per-stage co-location distributions for a request stream.
+///
+/// A *static* provider (live() == false) is a frozen snapshot: the runner
+/// pre-draws every request's interference from it up front, which keeps the
+/// paired-request contract and reproduces the plan-once pipeline exactly.
+/// A *live* provider (live() == true) may change between epochs — the
+/// fleet's control plane updates it at every reconciliation barrier — so
+/// the runner samples the multiplier at stage-launch time instead, from a
+/// per-(request, stage) derived rng stream that no event interleaving can
+/// shift.
+class CoLocationProvider {
+ public:
+  virtual ~CoLocationProvider() = default;
+  /// Distribution currently in effect for chain stage `stage`; throws when
+  /// the provider does not cover the stage.
+  virtual CoLocationDistribution stage_distribution(std::size_t stage)
+      const = 0;
+  /// Number of stages covered.
+  virtual std::size_t stages() const noexcept = 0;
+  /// Whether the distributions can shift mid-run (epoch feed).
+  virtual bool live() const noexcept { return false; }
+};
+
+/// Frozen per-stage distributions (the plan-time special case).
+class StaticCoLocation final : public CoLocationProvider {
+ public:
+  StaticCoLocation() = default;
+  explicit StaticCoLocation(std::vector<CoLocationDistribution> per_stage)
+      : per_stage_(std::move(per_stage)) {}
+
+  CoLocationDistribution stage_distribution(std::size_t stage) const override;
+  std::size_t stages() const noexcept override { return per_stage_.size(); }
+
+ private:
+  std::vector<CoLocationDistribution> per_stage_;
+};
+
 }  // namespace janus

@@ -71,4 +71,27 @@ SyntheticTrace synthesize_trace(const TraceSynthConfig& config) {
   return trace;
 }
 
+std::vector<double> synthesize_interarrivals(std::size_t count,
+                                             double mean_rate,
+                                             std::uint64_t seed,
+                                             double burstiness_sigma) {
+  require(count > 0, "inter-arrival trace needs >= 1 gap");
+  require(mean_rate > 0.0, "inter-arrival trace needs a positive mean rate");
+  require(burstiness_sigma >= 0.0, "burstiness sigma must be >= 0");
+  Rng rng = Rng(seed).split(0x7ea5ULL);
+  std::vector<double> gaps;
+  gaps.reserve(count);
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double gap = rng.lognormal(0.0, burstiness_sigma);
+    gaps.push_back(gap);
+    total += gap;
+  }
+  // Rescale so the replayed loop's long-run rate is exactly mean_rate.
+  const double scale =
+      static_cast<double>(count) / (mean_rate * total);
+  for (double& gap : gaps) gap *= scale;
+  return gaps;
+}
+
 }  // namespace janus

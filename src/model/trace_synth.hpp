@@ -54,4 +54,14 @@ struct SyntheticTrace {
 
 SyntheticTrace synthesize_trace(const TraceSynthConfig& config);
 
+/// Synthesizes a production-shaped inter-arrival trace for replay through
+/// `ArrivalKind::Trace`: lognormal gaps (bursts of near-back-to-back
+/// requests separated by long lulls, the qualitative shape of serverless
+/// arrival logs) rescaled so the long-run mean rate is exactly
+/// `mean_rate`.  All gaps are > 0; a fixed seed fixes the trace.
+std::vector<double> synthesize_interarrivals(std::size_t count,
+                                             double mean_rate,
+                                             std::uint64_t seed,
+                                             double burstiness_sigma = 1.2);
+
 }  // namespace janus

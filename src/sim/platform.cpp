@@ -21,6 +21,8 @@ Platform::Platform(SimEngine& engine, PlatformConfig config,
   pending_.resize(functions_.size());
   busy_per_cell_.assign(nodes_.size() * functions_.size(), 0);
   pods_per_cell_.assign(nodes_.size() * functions_.size(), 0);
+  busy_per_function_.assign(functions_.size(), 0);
+  peak_busy_per_function_.assign(functions_.size(), 0);
 
   // Pre-warm the generic pool, spread round-robin across nodes (Fission's
   // PoolManager keeps a pool of generic pods that get specialized on first
@@ -160,6 +162,10 @@ void Platform::start_on_pod(
   // same value the old O(pods) scan produced.
   outcome.colocated =
       std::max(++busy_per_cell_[cell(pod.node, fn_index)], 1);
+  const int busy_now = ++busy_per_function_[static_cast<std::size_t>(fn_index)];
+  peak_busy_per_function_[static_cast<std::size_t>(fn_index)] =
+      std::max(peak_busy_per_function_[static_cast<std::size_t>(fn_index)],
+               busy_now);
   if (exogenous_interference.has_value()) {
     outcome.interference = *exogenous_interference;
   } else {
@@ -175,6 +181,7 @@ void Platform::start_on_pod(
         auto& p = pods_[static_cast<std::size_t>(pod_index)];
         p.busy = false;
         --busy_per_cell_[cell(p.node, fn_index)];
+        --busy_per_function_[static_cast<std::size_t>(fn_index)];
         idle_[static_cast<std::size_t>(fn_index) + 1].push_back(pod_index);
         done(outcome);
 
@@ -198,6 +205,25 @@ int Platform::peak_colocation(int fn_index) const {
     peak = std::max(peak, busy_per_cell_[cell(static_cast<int>(n), fn_index)]);
   }
   return peak;
+}
+
+int Platform::pods_for_function(int fn_index) const {
+  (void)function(fn_index);  // range check
+  return pods_per_function_[static_cast<std::size_t>(fn_index)];
+}
+
+int Platform::busy_pods_for(int fn_index) const {
+  (void)function(fn_index);
+  return busy_per_function_[static_cast<std::size_t>(fn_index)];
+}
+
+int Platform::peak_busy_for(int fn_index) const {
+  (void)function(fn_index);
+  return peak_busy_per_function_[static_cast<std::size_t>(fn_index)];
+}
+
+void Platform::reset_peak_busy() {
+  peak_busy_per_function_ = busy_per_function_;
 }
 
 std::size_t Platform::queued_invocations() const noexcept {

@@ -98,6 +98,22 @@ class Platform {
   /// Invocations currently waiting for a pod (scale-out limit reached).
   std::size_t queued_invocations() const noexcept;
 
+  /// Pods currently specialized for `fn_index` (the function's actual
+  /// footprint — what the fleet control plane publishes at each epoch
+  /// barrier instead of a Little's-law estimate).
+  int pods_for_function(int fn_index) const;
+
+  /// Busy pods of `fn_index` right now.
+  int busy_pods_for(int fn_index) const;
+
+  /// High-water mark of concurrently busy pods of `fn_index` since the
+  /// last reset_peak_busy() — the per-epoch demand signal.
+  int peak_busy_for(int fn_index) const;
+
+  /// Restarts the peak tracking window at the current busy level (pods
+  /// still running carry their demand into the next window).
+  void reset_peak_busy();
+
   /// Total millicores currently allocated to busy pods (diagnostic).
   Millicores busy_millicores() const;
 
@@ -172,6 +188,11 @@ class Platform {
   // an invocation) and specialized pods (placement packing preference).
   std::vector<int> busy_per_cell_;
   std::vector<int> pods_per_cell_;
+  // Per-function busy count and its high-water mark since the last
+  // reset_peak_busy() — the epoch demand signal for the fleet control
+  // plane.
+  std::vector<int> busy_per_function_;
+  std::vector<int> peak_busy_per_function_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t invocations_ = 0;
 };

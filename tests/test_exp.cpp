@@ -197,14 +197,14 @@ TEST(Runner, OpenLoopRateOverrideKeepsMmppShape) {
   EXPECT_EQ(result.requests.size(), 60u);
 }
 
-TEST(Runner, PerStageColocationOverridesGlobal) {
+TEST(Runner, PerStageColocationProviderOverridesGlobal) {
   RunConfig config;
   config.requests = 200;
   // Stage 0 always alone; stages 1-2 heavily co-located.
-  config.colocation_per_stage = {
-      CoLocationDistribution{{1.0}},
-      CoLocationDistribution::concentrated(6.0),
-      CoLocationDistribution::concentrated(6.0)};
+  const StaticCoLocation provider({CoLocationDistribution{{1.0}},
+                                   CoLocationDistribution::concentrated(6.0),
+                                   CoLocationDistribution::concentrated(6.0)});
+  config.colocation_provider = &provider;
   const auto draws = draw_requests(make_ia(), config);
   double stage0_max = 0.0, stage1_min = 1e9;
   for (const auto& d : draws) {
@@ -214,7 +214,9 @@ TEST(Runner, PerStageColocationOverridesGlobal) {
   EXPECT_LT(stage0_max, 1.05);  // alone: noise only
   EXPECT_GT(stage1_min, 1.3);   // contended: real slowdown
 
-  config.colocation_per_stage = {CoLocationDistribution{{1.0}}};  // wrong arity
+  // Wrong arity: one stage distribution for a three-stage chain.
+  const StaticCoLocation narrow({CoLocationDistribution{{1.0}}});
+  config.colocation_provider = &narrow;
   EXPECT_THROW(draw_requests(make_ia(), config), std::invalid_argument);
 }
 

@@ -1,13 +1,20 @@
-// Tests for src/fleet: arrival processes, cluster bin-packing, and the
-// sharded multi-tenant fleet runner's determinism + aggregation contracts.
+// Tests for src/fleet: arrival processes, the autoscaling cluster node
+// pool, the epoch control plane, and the sharded multi-tenant fleet
+// runner's determinism + aggregation contracts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <tuple>
 #include <vector>
 
 #include "fleet/arrivals.hpp"
 #include "fleet/cluster.hpp"
+#include "fleet/control.hpp"
 #include "fleet/fleet.hpp"
+#include "model/trace_synth.hpp"
+#include "model/workloads.hpp"
+#include "sim/engine.hpp"
 
 namespace janus {
 namespace {
@@ -115,6 +122,57 @@ TEST(Arrivals, DiurnalTracksRateCurve) {
   EXPECT_NEAR(40000.0 / times.back(), 20.0, 20.0 * 0.10);
 }
 
+TEST(Arrivals, TraceReplaysAndLoopsDeterministically) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::Trace;
+  spec.trace_gaps = {1.0, 2.0, 3.0};
+  auto process = make_arrivals(spec);
+  Rng rng(1);
+  std::vector<Seconds> times;
+  Seconds t = 0.0;
+  for (int i = 0; i < 7; ++i) times.push_back(t = process->next(t, rng));
+  // The 3-gap trace loops: 1,2,3 | 1,2,3 | 1 ...
+  const std::vector<Seconds> expected = {1.0, 3.0, 6.0, 7.0, 9.0, 12.0, 13.0};
+  EXPECT_EQ(times, expected);
+  // The trace defines its own rate: 3 arrivals per 6 seconds.
+  EXPECT_DOUBLE_EQ(spec.mean_rate(), 0.5);
+  EXPECT_EQ(process->kind(), ArrivalKind::Trace);
+  EXPECT_EQ(arrival_kind_from_string("trace"), ArrivalKind::Trace);
+}
+
+TEST(Arrivals, TraceValidation) {
+  ArrivalSpec empty;
+  empty.kind = ArrivalKind::Trace;
+  EXPECT_THROW(make_arrivals(empty), std::invalid_argument);
+  ArrivalSpec zero;
+  zero.kind = ArrivalKind::Trace;
+  zero.trace_gaps = {0.5, 0.0};
+  EXPECT_THROW(make_arrivals(zero), std::invalid_argument);
+  ArrivalSpec negative;
+  negative.kind = ArrivalKind::Trace;
+  negative.trace_gaps = {0.5, -1.0};
+  EXPECT_THROW(make_arrivals(negative), std::invalid_argument);
+}
+
+TEST(Arrivals, SynthesizedInterarrivalTrace) {
+  const auto gaps = synthesize_interarrivals(5000, 25.0, 42);
+  ASSERT_EQ(gaps.size(), 5000u);
+  double total = 0.0;
+  for (double gap : gaps) {
+    ASSERT_GT(gap, 0.0);
+    total += gap;
+  }
+  // Rescaling makes the loop's long-run rate exact, not approximate.
+  EXPECT_NEAR(5000.0 / total, 25.0, 1e-9);
+  EXPECT_EQ(gaps, synthesize_interarrivals(5000, 25.0, 42));
+  EXPECT_NE(gaps, synthesize_interarrivals(5000, 25.0, 43));
+  // Heavier-tailed than exponential: max gap far above the mean.
+  const double max_gap = *std::max_element(gaps.begin(), gaps.end());
+  EXPECT_GT(max_gap, 10.0 / 25.0);
+  EXPECT_THROW(synthesize_interarrivals(0, 25.0, 1), std::invalid_argument);
+  EXPECT_THROW(synthesize_interarrivals(10, 0.0, 1), std::invalid_argument);
+}
+
 TEST(Arrivals, SpecValidation) {
   ArrivalSpec bad;
   bad.rate = 0.0;
@@ -174,7 +232,102 @@ TEST(Cluster, ValidationAndAccessors) {
   EXPECT_THROW(cluster.place_group(1, 0), std::invalid_argument);
   EXPECT_THROW(cluster.used_mc(9), std::invalid_argument);
   EXPECT_DOUBLE_EQ(cluster.utilization(), 0.0);
-  EXPECT_DOUBLE_EQ(ClusterCapacity::mean_coresidency({}), 1.0);
+}
+
+TEST(Cluster, EmptyPlacementsAreWellDefined) {
+  // Regression: an empty assignment has no co-resident pods (0, not the
+  // old 1.0), and zero-pod placements are legal — callers no longer have
+  // to special-case idle stages.
+  EXPECT_DOUBLE_EQ(ClusterCapacity::mean_coresidency({}), 0.0);
+  ClusterCapacity cluster({2, 1000});
+  EXPECT_TRUE(cluster.place_group(0, 500).empty());
+  // A zero-pod group does not even need a pod size.
+  EXPECT_TRUE(cluster.place_group(0, 0).empty());
+  EXPECT_DOUBLE_EQ(cluster.utilization(), 0.0);
+  EXPECT_EQ(cluster.overcommitted_pods(), 0);
+  // ...but growing a sizeless group later is an error, not a free lunch.
+  const int group = cluster.add_group(0, 0);
+  EXPECT_THROW(cluster.resize_group(group, 2), std::invalid_argument);
+}
+
+TEST(Cluster, ResizeGroupGrowsAndShrinks) {
+  ClusterCapacity cluster({4, 10000});
+  const int group = cluster.add_group(5, 2000);  // exactly one full node
+  EXPECT_DOUBLE_EQ(cluster.group_coresidency(group), 5.0);
+  cluster.resize_group(group, 7);  // two pods spill to a second node
+  EXPECT_NEAR(cluster.group_coresidency(group), 29.0 / 7.0, 1e-12);
+  cluster.resize_group(group, 5);  // spills unwind before the packed core
+  EXPECT_DOUBLE_EQ(cluster.group_coresidency(group), 5.0);
+  EXPECT_EQ(cluster.used_mc(cluster.assignment(group)[0]), 10000);
+  cluster.resize_group(group, 0);
+  EXPECT_TRUE(cluster.assignment(group).empty());
+  EXPECT_DOUBLE_EQ(cluster.utilization(), 0.0);
+  cluster.resize_group(group, 3);  // regrow from empty
+  EXPECT_DOUBLE_EQ(cluster.group_coresidency(group), 3.0);
+}
+
+TEST(Cluster, AutoscaleOrdersNodesWithLatency) {
+  ClusterCapacity cluster({2, 10000});
+  cluster.add_group(9, 2000);  // 18000 / 20000 = 90% allocated
+  AutoscaleConfig cfg;
+  cfg.enabled = true;
+  cfg.scale_out_latency_epochs = 2;
+  cfg.max_step_nodes = 8;
+  // Step 1: over the band -> order the deficit (want ceil(18/7) = 3 nodes).
+  ClusterCapacity::ScaleEvent ev = cluster.autoscale_step(cfg);
+  EXPECT_EQ(ev.ordered, 1);
+  EXPECT_EQ(ev.added, 0);
+  EXPECT_EQ(cluster.nodes(), 2);
+  EXPECT_EQ(cluster.pending_nodes(), 1);
+  // Step 2: order still in flight; the pending node stops a double-buy.
+  ev = cluster.autoscale_step(cfg);
+  EXPECT_EQ(ev.ordered, 0);
+  EXPECT_EQ(ev.added, 0);
+  // Step 3: the order matures — scale-out latency paid in full.
+  ev = cluster.autoscale_step(cfg);
+  EXPECT_EQ(ev.added, 1);
+  EXPECT_EQ(cluster.nodes(), 3);
+  EXPECT_EQ(cluster.pending_nodes(), 0);
+}
+
+TEST(Cluster, AutoscaleZeroLatencyAddsImmediately) {
+  ClusterCapacity cluster({1, 10000});
+  cluster.add_group(4, 2000);  // 80%
+  AutoscaleConfig cfg;
+  cfg.enabled = true;
+  cfg.scale_out_latency_epochs = 0;
+  const auto ev = cluster.autoscale_step(cfg);
+  EXPECT_EQ(ev.ordered, 0);
+  EXPECT_EQ(ev.added, 1);
+  EXPECT_EQ(cluster.nodes(), 2);
+}
+
+TEST(Cluster, ScaleInRepacksDisplacedGroupsDeterministically) {
+  const auto run_once = [] {
+    ClusterCapacity cluster({4, 10000});
+    std::vector<int> groups;
+    for (int g = 0; g < 4; ++g) groups.push_back(cluster.add_group(1, 1000));
+    AutoscaleConfig cfg;
+    cfg.enabled = true;  // 4000 / 40000 = 10% -> deep below the band
+    const auto ev = cluster.autoscale_step(cfg);
+    std::vector<std::vector<int>> assignments;
+    for (int g : groups) assignments.push_back(cluster.assignment(g));
+    return std::make_tuple(ev.removed, ev.displaced_pods, cluster.nodes(),
+                           assignments);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);  // deterministic: same victims, same repacking
+  EXPECT_GT(std::get<0>(a), 0);
+  EXPECT_GT(std::get<1>(a), 0);  // occupied nodes went away -> pods moved
+  // Every group still has its pod, on a surviving node.
+  for (const auto& assignment : std::get<3>(a)) {
+    ASSERT_EQ(assignment.size(), 1u);
+    EXPECT_LT(assignment[0], std::get<2>(a));
+    EXPECT_GE(assignment[0], 0);
+  }
+  // Scale-in respects the floor and the utilization band.
+  EXPECT_GE(std::get<2>(a), 1);
 }
 
 // ---------------------------------------------------------------- fleet --
@@ -283,6 +436,176 @@ TEST(Fleet, RejectsBadConfig) {
   dwell.tenants[0].arrivals.burst_dwell_s = 0.0;
   dwell.tenants[0].arrivals.burst_rate = 1e9;  // keep burst >= base valid
   EXPECT_THROW(run_fleet(dwell), std::invalid_argument);
+}
+
+// ------------------------------------------------------- control plane --
+FleetConfig epoch_fleet(int shards) {
+  FleetConfig config = small_fleet(shards);
+  config.epoch_s = 5.0;  // ~150 reqs at ~8/s => several barriers per run
+  config.cluster.nodes = 6;
+  config.autoscale.enabled = true;
+  config.autoscale.scale_out_latency_epochs = 1;
+  return config;
+}
+
+TEST(Fleet, EpochFeedbackBitIdenticalAcrossShards) {
+  const FleetResult one = run_fleet(epoch_fleet(1));
+  ASSERT_GT(one.epochs, 1);  // the control loop actually ran
+  for (int shards : {2, 4, 8}) {
+    const FleetResult many = run_fleet(epoch_fleet(shards));
+    for (std::size_t t = 0; t < one.tenants.size(); ++t) {
+      EXPECT_EQ(one.tenants[t].e2e.sorted_samples(),
+                many.tenants[t].e2e.sorted_samples())
+          << "tenant " << t << " at " << shards << " shards";
+      EXPECT_DOUBLE_EQ(one.tenants[t].coresidency,
+                       many.tenants[t].coresidency);
+    }
+    EXPECT_EQ(one.fleet_e2e.sorted_samples(), many.fleet_e2e.sorted_samples());
+    EXPECT_DOUBLE_EQ(one.fleet_p99, many.fleet_p99);
+    EXPECT_DOUBLE_EQ(one.fleet_violation_rate, many.fleet_violation_rate);
+    // The merged epoch state is a pure function of (epoch, seed, tenants):
+    // the whole audit trail must match bit-for-bit, not just the metrics.
+    ASSERT_EQ(one.epoch_log.size(), many.epoch_log.size());
+    for (std::size_t e = 0; e < one.epoch_log.size(); ++e) {
+      const EpochSnapshot& x = one.epoch_log[e];
+      const EpochSnapshot& y = many.epoch_log[e];
+      EXPECT_DOUBLE_EQ(x.sim_time, y.sim_time);
+      EXPECT_EQ(x.nodes, y.nodes);
+      EXPECT_EQ(x.pending_nodes, y.pending_nodes);
+      EXPECT_DOUBLE_EQ(x.utilization, y.utilization);
+      EXPECT_EQ(x.nodes_ordered, y.nodes_ordered);
+      EXPECT_EQ(x.nodes_added, y.nodes_added);
+      EXPECT_EQ(x.nodes_removed, y.nodes_removed);
+      EXPECT_EQ(x.groups_resized, y.groups_resized);
+      EXPECT_EQ(x.displaced_pods, y.displaced_pods);
+    }
+    EXPECT_EQ(one.final_nodes, many.final_nodes);
+    EXPECT_EQ(one.nodes_added, many.nodes_added);
+    EXPECT_EQ(one.nodes_removed, many.nodes_removed);
+  }
+}
+
+TEST(Fleet, EpochInfinityMatchesStaticPlanPipeline) {
+  // Differential check of the refactor: with epoch_s = kNoEpochs (the
+  // default), run_fleet must reproduce the pre-control-plane plan-once
+  // pipeline bit-for-bit.  Replicate that pipeline by hand — Little's-law
+  // pods, one-shot bin-packing, frozen StaticCoLocation — and compare
+  // every request sample.
+  const FleetConfig config = small_fleet(1);
+  const FleetResult fleet = run_fleet(config);
+  EXPECT_EQ(fleet.epochs, 0);
+  EXPECT_TRUE(fleet.epoch_log.empty());
+
+  ClusterCapacity cluster(config.cluster);
+  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+    const TenantSpec& spec = config.tenants[t];
+    const WorkloadSpec workload = workload_by_name(spec.workload);
+    const auto models = workload.chain_models();
+
+    RunConfig rc;
+    rc.slo = spec.slo > 0.0 ? spec.slo : workload.slo(spec.concurrency);
+    rc.concurrency = spec.concurrency;
+    rc.requests = spec.requests;
+    // The per-tenant seed derivation run_fleet documents: fleet seed and
+    // tenant index only.
+    rc.seed = SplitMix64(config.seed ^
+                         (0x9e3779b97f4a7c15ULL * (t + 1)))
+                  .next();
+    rc.open_loop_rate = spec.arrivals.rate;
+    rc.arrivals = spec.arrivals;
+    rc.platform = config.platform;
+    rc.colocation_is_default = false;
+
+    const double rate = spec.arrivals.mean_rate();
+    std::vector<CoLocationDistribution> per_stage;
+    double coresidency_sum = 0.0;
+    for (const auto& model : models) {
+      const Seconds stage_s =
+          model.exec_time(spec.size_mc, spec.concurrency, 1.0, 1.0);
+      const int pods =
+          std::max(1, static_cast<int>(std::ceil(rate * stage_s)));
+      const auto placed = cluster.place_group(pods, spec.size_mc);
+      const double co = ClusterCapacity::mean_coresidency(placed);
+      coresidency_sum += co;
+      per_stage.push_back(CoLocationDistribution::concentrated(co));
+    }
+    const StaticCoLocation provider(per_stage);
+    rc.colocation_provider = &provider;
+
+    SimEngine engine;
+    PlatformConfig pc = rc.platform;
+    pc.seed = rc.seed ^ 0x9e3779b97f4a7c15ULL;
+    Platform platform(engine, pc, models, rc.interference);
+    FixedSizingPolicy policy(
+        "fixed", std::vector<Millicores>(models.size(), spec.size_mc));
+    RunResult out;
+    serve_workload(engine, platform, workload, policy, rc, out);
+    engine.run();
+
+    EXPECT_EQ(fleet.tenants[t].e2e.sorted_samples(),
+              out.e2e_distribution().sorted_samples())
+        << "tenant " << t;
+    EXPECT_DOUBLE_EQ(fleet.tenants[t].violation_rate, out.violation_rate());
+    EXPECT_DOUBLE_EQ(fleet.tenants[t].mean_cpu_mc, out.mean_cpu());
+    EXPECT_DOUBLE_EQ(
+        fleet.tenants[t].coresidency,
+        coresidency_sum / static_cast<double>(models.size()));
+  }
+}
+
+TEST(Fleet, EpochFeedbackShiftsInterferenceDraws) {
+  // A finite epoch closes the loop: observed pod counts replace the plan
+  // estimates, so the draws — and the metrics — must actually move.
+  const FleetResult frozen = run_fleet(small_fleet(2));
+  FleetConfig live = small_fleet(2);
+  live.epoch_s = 5.0;
+  const FleetResult fed = run_fleet(live);
+  ASSERT_GT(fed.epochs, 0);
+  EXPECT_NE(frozen.fleet_e2e.sorted_samples(), fed.fleet_e2e.sorted_samples());
+  // Same request count either way: the control plane reshapes latency,
+  // never loses traffic.
+  EXPECT_EQ(frozen.total_requests, fed.total_requests);
+}
+
+TEST(Fleet, AutoscaleGrowsUnderLoadAndAccountsNodes) {
+  FleetConfig config;
+  config.tenants = make_tenant_mix(4, 400, 30.0, ArrivalKind::Poisson,
+                                   /*mixed_kinds=*/false);
+  config.seed = 11;
+  config.shards = 2;
+  config.cluster.nodes = 2;  // deliberately undersized
+  config.epoch_s = 3.0;
+  config.autoscale.enabled = true;
+  config.autoscale.scale_out_latency_epochs = 1;
+  const FleetResult result = run_fleet(config);
+  ASSERT_GT(result.epochs, 0);
+  EXPECT_GT(result.nodes_added, 0);
+  EXPECT_EQ(result.final_nodes,
+            2 + result.nodes_added - result.nodes_removed);
+  // The audit trail carries the scale-out: some epoch ordered nodes.
+  bool ordered = false;
+  for (const auto& snap : result.epoch_log) {
+    ordered = ordered || snap.nodes_ordered > 0 || snap.nodes_added > 0;
+  }
+  EXPECT_TRUE(ordered);
+}
+
+TEST(Fleet, TraceTenantsReplayThroughTheFleet) {
+  FleetConfig config = small_fleet(2);
+  for (auto& tenant : config.tenants) {
+    tenant.arrivals.kind = ArrivalKind::Trace;
+    tenant.arrivals.trace_gaps = synthesize_interarrivals(
+        256, tenant.arrivals.rate, config.seed);
+  }
+  const FleetResult a = run_fleet(config);
+  EXPECT_EQ(a.total_requests, 5u * 150u);
+  for (const auto& tenant : a.tenants) {
+    EXPECT_EQ(tenant.arrivals, ArrivalKind::Trace);
+  }
+  // Shard-count invariance holds for replayed traces too.
+  config.shards = 3;
+  const FleetResult b = run_fleet(config);
+  EXPECT_EQ(a.fleet_e2e.sorted_samples(), b.fleet_e2e.sorted_samples());
 }
 
 TEST(Fleet, TenantMixIsHeterogeneous) {

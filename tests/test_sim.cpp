@@ -451,6 +451,35 @@ TEST(Platform, ConcurrentInvocationsColocate) {
   EXPECT_GT(*std::max_element(coloc.begin(), coloc.end()), 1);
 }
 
+TEST(Platform, PeakBusyCountersTrackEpochDemand) {
+  // The fleet control plane's demand signal: busy pods now, and the
+  // high-water mark since the last reset.
+  SimEngine engine;
+  Platform platform(engine, small_platform(), two_models());
+  EXPECT_EQ(platform.pods_for_function(0), 0);
+  EXPECT_EQ(platform.busy_pods_for(0), 0);
+  EXPECT_EQ(platform.peak_busy_for(0), 0);
+  for (int i = 0; i < 3; ++i) {
+    platform.invoke(0, 1000, 1, 1.0, 1.0, [](const InvocationOutcome&) {});
+  }
+  EXPECT_EQ(platform.busy_pods_for(0), 3);
+  EXPECT_EQ(platform.peak_busy_for(0), 3);
+  EXPECT_EQ(platform.pods_for_function(0), 3);  // specialized on demand
+  engine.run();
+  // All done: busy drains, the peak survives until the epoch barrier
+  // resets it...
+  EXPECT_EQ(platform.busy_pods_for(0), 0);
+  EXPECT_EQ(platform.peak_busy_for(0), 3);
+  platform.reset_peak_busy();
+  // ...and the new window starts from the current busy level.
+  EXPECT_EQ(platform.peak_busy_for(0), 0);
+  EXPECT_EQ(platform.pods_for_function(0), 3);  // footprint persists
+  platform.invoke(0, 1000, 1, 1.0, 1.0, [](const InvocationOutcome&) {});
+  EXPECT_EQ(platform.peak_busy_for(0), 1);
+  engine.run();
+  EXPECT_THROW(platform.busy_pods_for(7), std::invalid_argument);
+}
+
 TEST(Platform, EndogenousInterferenceGrowsWithColocation) {
   SimEngine engine;
   Platform platform(engine, small_platform(), two_models());

@@ -31,6 +31,7 @@
 #include "exp/runner.hpp"
 #include "fleet/fleet.hpp"
 #include "hints/generator.hpp"
+#include "model/trace_synth.hpp"
 #include "model/workloads.hpp"
 #include "policy/janus_policy.hpp"
 #include "profiler/profiler.hpp"
@@ -39,20 +40,42 @@ using namespace janus;
 
 namespace {
 
-int usage() {
+int usage(std::FILE* out = stderr) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  janus_cli profile <ia|va> <out-dir>\n"
       "  janus_cli synthesize <ia|va> <out-dir> [weight] [conc]\n"
       "  janus_cli lookup <hints.csv> <budget-ms>\n"
       "  janus_cli serve <ia|va> [requests] [slo-seconds] [--seed N] "
       "[--json]\n"
-      "  janus_cli fleet [--tenants N] [--requests N] [--shards N] "
-      "[--seed N]\n"
-      "             [--rate R] [--arrivals poisson|mmpp|diurnal|mixed] "
-      "[--json]\n");
-  return 2;
+      "  janus_cli fleet [flags]\n"
+      "\n"
+      "fleet flags (sharded multi-tenant simulation):\n"
+      "  --tenants N     tenant count (default 8)\n"
+      "  --requests N    requests per tenant (default 1000)\n"
+      "  --shards N      simulation shards / threads (default 4)\n"
+      "  --seed N        fleet seed; fixes every metric bit-for-bit\n"
+      "  --rate R        base arrival rate, requests/s (default 10)\n"
+      "  --arrivals K    poisson|mmpp|diurnal|trace|mixed (default mixed)\n"
+      "  --trace P       replay inter-arrival gaps: P is a CSV path (one\n"
+      "                  gap in seconds per line) or 'synth' for a\n"
+      "                  synthesized production-shaped trace; implies\n"
+      "                  --arrivals trace, loops when requests outnumber\n"
+      "                  samples\n"
+      "  --nodes N       cluster node-pool size at plan time (default 16)\n"
+      "  --node-mc N     node capacity in millicores (default 52000)\n"
+      "  --epoch-s X     sim-seconds between cross-shard reconciliation\n"
+      "                  barriers; 'inf' (default) plans once and freezes\n"
+      "                  the packing, finite X closes the loop between\n"
+      "                  observed pod counts and interference draws\n"
+      "  --autoscale     grow/shrink the node pool from utilization at\n"
+      "                  each epoch barrier (scale-out pays one epoch of\n"
+      "                  latency; scale-in repacks displaced pods)\n"
+      "  --json          machine-readable result on stdout\n"
+      "\n"
+      "`janus_cli help` (or --help) prints this text.\n");
+  return out == stderr ? 2 : 0;
 }
 
 /// Splits argv into positional arguments and the scriptability flags
@@ -62,11 +85,17 @@ int usage() {
 struct Flags {
   std::uint64_t seed = 2026;
   bool json = false;
+  bool help = false;
   int tenants = 8;
   int requests = 1000;  // per tenant; any explicit non-positive value errors
   int shards = 4;
   double rate = 10.0;
   std::string arrivals = "mixed";
+  std::string trace;  // CSV path or "synth"; empty = no trace replay
+  int nodes = 16;
+  int node_mc = 52000;
+  double epoch_s = 0.0;  // 0 = not set -> kNoEpochs (plan once)
+  bool autoscale = false;
   std::vector<std::string> seen;
 };
 
@@ -110,6 +139,27 @@ bool parse_flags(int argc, char** argv, int first, Flags& flags,
     };
     if (arg == "--json") {
       flags.json = true;
+    } else if (arg == "--help") {
+      flags.help = true;
+    } else if (arg == "--autoscale") {
+      flags.autoscale = true;
+    } else if (arg == "--trace") {
+      flags.trace = value("--trace");
+    } else if (arg == "--nodes") {
+      flags.nodes = parse_int(value("--nodes"), "--nodes");
+    } else if (arg == "--node-mc") {
+      flags.node_mc = parse_int(value("--node-mc"), "--node-mc");
+    } else if (arg == "--epoch-s") {
+      const std::string text = value("--epoch-s");
+      if (text == "inf" || text == "infinity") {
+        flags.epoch_s = 0.0;  // explicit "never reconcile"
+      } else {
+        flags.epoch_s = parse_double(text, "--epoch-s");
+        if (flags.epoch_s <= 0.0) {
+          throw_invalid("--epoch-s expects a positive number or 'inf': " +
+                        text);
+        }
+      }
     } else if (arg == "--seed") {
       // stoull happily wraps "-1" into a huge unsigned value; reject
       // anything that is not a plain decimal so typos surface.
@@ -264,6 +314,41 @@ int cmd_serve(const std::string& name, int requests, Seconds slo,
   return 0;
 }
 
+/// Loads replay gaps for `--trace`: a CSV path (one gap in seconds per
+/// line; blank lines and a leading non-numeric header are skipped) or
+/// "synth" for a synthesized production-shaped trace.
+std::vector<double> load_trace_gaps(const std::string& source, double rate,
+                                    std::uint64_t seed) {
+  if (source == "synth") {
+    return synthesize_interarrivals(4096, rate, seed);
+  }
+  std::ifstream in(source, std::ios::binary);
+  if (!in) throw_invalid("cannot open trace: " + source);
+  std::vector<double> gaps;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    std::size_t used = 0;
+    double gap = 0.0;
+    try {
+      gap = std::stod(line, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;
+    }
+    if (used != line.size()) {
+      // Tolerate one header line; anything else is a malformed trace.
+      if (gaps.empty()) continue;
+      throw_invalid("trace line is not a number: " + line);
+    }
+    gaps.push_back(gap);
+  }
+  require(!gaps.empty(), "trace file holds no inter-arrival gaps");
+  return gaps;
+}
+
 int cmd_fleet(const Flags& flags) {
   FleetConfig config;
   const bool mixed = flags.arrivals == "mixed";
@@ -279,12 +364,42 @@ int cmd_fleet(const Flags& flags) {
                     flags.arrivals);
     }
   }
+  if (kind == ArrivalKind::Trace && flags.trace.empty()) {
+    throw_invalid("--arrivals trace needs --trace <csv-path|synth>");
+  }
+  if (!flags.trace.empty() && !mixed && kind != ArrivalKind::Trace) {
+    // Conflicting requests must error, not silently let the trace win.
+    throw_invalid("--trace replaces every tenant's arrival process; it "
+                  "cannot be combined with --arrivals " +
+                  flags.arrivals);
+  }
   // Bad values (e.g. --requests 0) error in make_tenant_mix rather than
   // silently falling back to a default.
   config.tenants =
-      make_tenant_mix(flags.tenants, flags.requests, flags.rate, kind, mixed);
+      make_tenant_mix(flags.tenants, flags.requests, flags.rate,
+                      flags.trace.empty() ? kind : ArrivalKind::Poisson,
+                      mixed && flags.trace.empty());
+  if (!flags.trace.empty()) {
+    // Every tenant replays the same recorded rhythm, rescaled to its own
+    // staggered rate so the mix stays heterogeneous.
+    const std::vector<double> gaps =
+        load_trace_gaps(flags.trace, flags.rate, flags.seed);
+    double total = 0.0;
+    for (double gap : gaps) total += gap;
+    const double trace_rate = static_cast<double>(gaps.size()) / total;
+    for (auto& tenant : config.tenants) {
+      const double scale = trace_rate / tenant.arrivals.rate;
+      tenant.arrivals.kind = ArrivalKind::Trace;
+      tenant.arrivals.trace_gaps = gaps;
+      for (double& gap : tenant.arrivals.trace_gaps) gap *= scale;
+    }
+  }
   config.shards = flags.shards;
   config.seed = flags.seed;
+  config.cluster.nodes = flags.nodes;
+  config.cluster.node_capacity_mc = flags.node_mc;
+  if (flags.epoch_s > 0.0) config.epoch_s = flags.epoch_s;
+  config.autoscale.enabled = flags.autoscale;
   const FleetResult result = run_fleet(config);
   if (flags.json) {
     std::printf("%s", result.to_json().c_str());
@@ -311,6 +426,12 @@ int cmd_fleet(const Flags& flags) {
       "%d overcommitted pods\n",
       result.shards, result.wall_seconds, 100.0 * result.cluster_utilization,
       result.overcommitted_pods);
+  if (result.epochs > 0) {
+    std::printf(
+        "control: %d epochs, %d nodes (final), +%d/-%d nodes autoscaled\n",
+        result.epochs, result.final_nodes, result.nodes_added,
+        result.nodes_removed);
+  }
   return 0;
 }
 
@@ -322,7 +443,9 @@ int main(int argc, char** argv) {
   try {
     Flags flags;
     std::vector<std::string> pos;
+    if (cmd == "help" || cmd == "--help") return usage(stdout);
     if (!parse_flags(argc, argv, 2, flags, pos)) return usage();
+    if (flags.help) return usage(stdout);
     if (cmd == "profile" && pos.size() == 2) {
       if (!flags_allowed(flags, {})) return usage();
       return cmd_profile(pos[0], pos[1]);
@@ -345,7 +468,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "fleet" && pos.empty()) {
       if (!flags_allowed(flags, {"--tenants", "--requests", "--shards",
-                                 "--seed", "--rate", "--arrivals", "--json"})) {
+                                 "--seed", "--rate", "--arrivals", "--trace",
+                                 "--nodes", "--node-mc", "--epoch-s",
+                                 "--autoscale", "--json"})) {
         return usage();
       }
       return cmd_fleet(flags);
