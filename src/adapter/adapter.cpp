@@ -1,12 +1,19 @@
 #include "adapter/adapter.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace janus {
 
 Adapter::Adapter(HintsBundle bundle, AdapterConfig config)
+    : Adapter(std::make_shared<const HintsBundle>(std::move(bundle)),
+              config) {}
+
+Adapter::Adapter(std::shared_ptr<const HintsBundle> bundle,
+                 AdapterConfig config)
     : bundle_(std::move(bundle)), config_(config) {
-  require(!bundle_.suffix_tables.empty(), "adapter needs >= 1 suffix table");
+  require(bundle_ != nullptr, "adapter needs a hints bundle");
+  require(!bundle_->suffix_tables.empty(), "adapter needs >= 1 suffix table");
   require(config_.kmax > 0, "kmax must be > 0");
   require(config_.miss_rate_threshold > 0.0 &&
               config_.miss_rate_threshold <= 1.0,
@@ -15,11 +22,11 @@ Adapter::Adapter(HintsBundle bundle, AdapterConfig config)
 
 HintsTable::Lookup Adapter::peek(std::size_t stage,
                                  Seconds remaining_budget) const {
-  require(stage < bundle_.suffix_tables.size(), "stage out of range");
+  require(stage < bundle_->suffix_tables.size(), "stage out of range");
   // Floor: reporting less budget than truly available is the safe side.
   const auto budget =
       static_cast<BudgetMs>(std::floor(remaining_budget * 1000.0));
-  return bundle_.suffix_tables[stage].lookup(budget);
+  return bundle_->suffix_tables[stage].lookup(budget);
 }
 
 Millicores Adapter::size_for_stage(std::size_t stage,
@@ -51,14 +58,14 @@ bool Adapter::regeneration_suggested() const noexcept {
 }
 
 void Adapter::install_bundle(HintsBundle bundle) {
-  require(bundle.suffix_tables.size() == bundle_.suffix_tables.size(),
+  require(bundle.suffix_tables.size() == bundle_->suffix_tables.size(),
           "regenerated bundle has different shape");
-  bundle_ = std::move(bundle);
+  bundle_ = std::make_shared<const HintsBundle>(std::move(bundle));
   reset_stats();
 }
 
 std::size_t Adapter::memory_bytes() const noexcept {
-  return sizeof(*this) + bundle_.memory_bytes();
+  return sizeof(*this) + bundle_->memory_bytes();
 }
 
 }  // namespace janus

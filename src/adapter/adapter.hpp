@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "common/types.hpp"
@@ -44,8 +45,14 @@ struct AdapterStats {
 class Adapter {
  public:
   explicit Adapter(HintsBundle bundle, AdapterConfig config = {});
+  /// Shares an immutable bundle synthesized elsewhere (the fleet's policy
+  /// catalog builds one per (workload, policy) and hands it to every
+  /// tenant's adapter): lookups are const, so adapters on different shard
+  /// threads can read the same tables with no copies and no locks.
+  explicit Adapter(std::shared_ptr<const HintsBundle> bundle,
+                   AdapterConfig config = {});
 
-  std::size_t stages() const noexcept { return bundle_.suffix_tables.size(); }
+  std::size_t stages() const noexcept { return bundle_->suffix_tables.size(); }
 
   /// Size for stage `stage` (0-based position in the chain) given the
   /// remaining time budget.  Records hit/miss statistics and, on crossing
@@ -68,11 +75,11 @@ class Adapter {
   /// path); statistics restart.
   void install_bundle(HintsBundle bundle);
 
-  const HintsBundle& bundle() const noexcept { return bundle_; }
+  const HintsBundle& bundle() const noexcept { return *bundle_; }
   std::size_t memory_bytes() const noexcept;
 
  private:
-  HintsBundle bundle_;
+  std::shared_ptr<const HintsBundle> bundle_;
   AdapterConfig config_;
   AdapterStats stats_;
   std::function<void(double)> feedback_;

@@ -116,6 +116,12 @@ const std::vector<int>& ClusterCapacity::assignment(int group) const {
   return groups_[static_cast<std::size_t>(group)].nodes;
 }
 
+Millicores ClusterCapacity::group_pod_mc(int group) const {
+  require(group >= 0 && static_cast<std::size_t>(group) < groups_.size(),
+          "group id out of range");
+  return groups_[static_cast<std::size_t>(group)].pod_mc;
+}
+
 double ClusterCapacity::group_coresidency(int group) const {
   return mean_coresidency(assignment(group));
 }

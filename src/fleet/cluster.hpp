@@ -82,6 +82,10 @@ class ClusterCapacity {
   int group_count() const noexcept { return static_cast<int>(groups_.size()); }
   /// Node index per pod of the group, in placement order.
   const std::vector<int>& assignment(int group) const;
+  /// Millicores per pod of the group (fixed at add_group; resize keeps it).
+  /// Pod sizes vary per group now that tenant sizing policies allocate
+  /// stages heterogeneously.
+  Millicores group_pod_mc(int group) const;
   /// Mean same-group co-residency of the group's current placement.
   double group_coresidency(int group) const;
 

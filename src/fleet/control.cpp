@@ -16,12 +16,14 @@ ControlPlane::ControlPlane(ClusterConfig cluster, ControlConfig config)
 }
 
 EpochFeed& ControlPlane::plan_tenant(const std::vector<int>& stage_pods,
-                                     Millicores pod_mc) {
+                                     const std::vector<Millicores>& stage_mc) {
   require(!stage_pods.empty(), "tenant needs >= 1 chain stage");
+  require(stage_pods.size() == stage_mc.size(),
+          "plan needs one pod size per chain stage");
   TenantGroups groups;
   groups.group_ids.reserve(stage_pods.size());
-  for (int pods : stage_pods) {
-    groups.group_ids.push_back(cluster_.add_group(pods, pod_mc));
+  for (std::size_t s = 0; s < stage_pods.size(); ++s) {
+    groups.group_ids.push_back(cluster_.add_group(stage_pods[s], stage_mc[s]));
   }
   tenants_.push_back(std::move(groups));
   feeds_.emplace_back(stage_pods.size(), live());

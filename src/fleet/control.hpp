@@ -89,12 +89,14 @@ class ControlPlane {
   bool live() const noexcept { return config_.epoch_s != kNoEpochs; }
   Seconds epoch_s() const noexcept { return config_.epoch_s; }
 
-  /// Plan-time registration: places `stage_pods[s]` pods of `pod_mc`
-  /// millicores per stage (the Little's-law estimate) and returns the
-  /// tenant's feed, initialized to the plan packing.  The reference stays
-  /// valid for the ControlPlane's lifetime.
+  /// Plan-time registration: places `stage_pods[s]` pods of
+  /// `stage_mc[s]` millicores for each stage (the Little's-law pod count
+  /// at the tenant policy's plan allocation — per-stage, because sizing
+  /// policies allocate stages differently) and returns the tenant's feed,
+  /// initialized to the plan packing.  The reference stays valid for the
+  /// ControlPlane's lifetime.
   EpochFeed& plan_tenant(const std::vector<int>& stage_pods,
-                         Millicores pod_mc);
+                         const std::vector<Millicores>& stage_mc);
 
   /// One reconciliation barrier at simulated time `sim_time`:
   /// `observed[t][s]` is tenant t's stage-s pod demand (peak busy pods

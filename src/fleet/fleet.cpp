@@ -44,7 +44,8 @@ std::string FleetResult::to_json() const {
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     const TenantResult& tr = tenants[t];
     os << "    {\"name\": \"" << json_escape(tr.name) << "\", \"workload\": \""
-       << json_escape(tr.workload) << "\", \"arrivals\": \""
+       << json_escape(tr.workload) << "\", \"policy\": \""
+       << json_escape(tr.policy) << "\", \"arrivals\": \""
        << to_string(tr.arrivals)
        << "\", \"requests\": " << tr.requests
        << ", \"slo_s\": " << fmt_double(tr.slo)
@@ -78,13 +79,24 @@ FleetResult run_fleet(const FleetConfig& config) {
           "fleet histogram layout must be non-degenerate");
 
   // ---- Plan (shard-independent): workloads, seeds, cluster packing. ----
+  // One policy catalog serves every tenant: profiles and hints bundles are
+  // synthesized once per (workload, policy) here, before any shard thread
+  // exists, and only read afterwards.
+  PolicyCatalog own_catalog(config.policy_catalog);
+  PolicyCatalog& catalog =
+      config.catalog != nullptr ? *config.catalog : own_catalog;
   ControlPlane control(config.cluster,
                        ControlConfig{config.epoch_s, config.autoscale});
   std::vector<TenantSetup> setups;
+  std::vector<EpochFeed*> feeds;
   setups.reserve(n);
+  feeds.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
     const TenantSpec& spec = config.tenants[t];
     require(spec.requests > 0, "tenant needs >= 1 request");
+    require(spec.contention_alpha >= 0.0,
+            "tenant contention alpha must be >= 0");
+    require_fleet_policy(spec.policy);
     TenantSetup setup;
     setup.workload = workload_by_name(spec.workload);
     // Validate the arrival spec *now*: the fleet has no closed-loop
@@ -108,19 +120,24 @@ FleetResult run_fleet(const FleetConfig& config) {
     rc.colocation_is_default = false;
 
     // Steady-state pods per stage (Little's law over the arrival process's
-    // long-run rate) seed the control plane's packing; its feed becomes
-    // the tenant's co-location source — frozen on the static path, shifted
-    // at every barrier on the live path.
+    // long-run rate) at the policy's plan-time allocation seed the control
+    // plane's packing; its feed becomes the tenant's co-location source —
+    // frozen on the static path, shifted at every barrier on the live
+    // path.
+    const std::vector<Millicores> plan_mc = catalog.plan_sizes(
+        spec.policy, setup.workload, rc.slo, spec.concurrency, spec.size_mc);
     const double rate = spec.arrivals.mean_rate();
     std::vector<int> stage_pods;
     stage_pods.reserve(models.size());
-    for (const auto& model : models) {
+    for (std::size_t s = 0; s < models.size(); ++s) {
       const Seconds stage_s =
-          model.exec_time(spec.size_mc, spec.concurrency, 1.0, 1.0);
+          models[s].exec_time(plan_mc[s], spec.concurrency, 1.0, 1.0);
       stage_pods.push_back(
           std::max(1, static_cast<int>(std::ceil(rate * stage_s))));
     }
-    rc.colocation_provider = &control.plan_tenant(stage_pods, spec.size_mc);
+    EpochFeed& feed = control.plan_tenant(stage_pods, plan_mc);
+    feeds.push_back(&feed);
+    rc.colocation_provider = &feed;
     setup.run = std::move(rc);
     setups.push_back(std::move(setup));
   }
@@ -135,19 +152,26 @@ FleetResult run_fleet(const FleetConfig& config) {
     engines.push_back(std::make_unique<SimEngine>());
   }
   std::vector<std::unique_ptr<Platform>> platforms;
-  std::vector<std::unique_ptr<FixedSizingPolicy>> policies;
+  std::vector<std::unique_ptr<SizingPolicy>> policies;
   platforms.reserve(n);
   policies.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
     const TenantSetup& setup = setups[t];
+    const TenantSpec& spec = config.tenants[t];
     SimEngine& engine = *engines[t % shards];
     PlatformConfig pc = setup.run.platform;
     pc.seed = setup.run.seed ^ 0x9e3779b97f4a7c15ULL;
     platforms.push_back(std::make_unique<Platform>(
         engine, pc, setup.workload.chain_models(), setup.run.interference));
-    policies.push_back(std::make_unique<FixedSizingPolicy>(
-        "fixed", std::vector<Millicores>(setup.workload.chain_models().size(),
-                                         config.tenants[t].size_mc)));
+    std::unique_ptr<SizingPolicy> policy =
+        catalog.make_policy(spec.policy, setup.workload, setup.run.slo,
+                            spec.concurrency, spec.size_mc);
+    if (spec.contention_alpha > 0.0) {
+      policy = std::make_unique<ContentionAwarePolicy>(
+          std::move(policy), *feeds[t], spec.contention_alpha,
+          catalog.config().kmax);
+    }
+    policies.push_back(std::move(policy));
     serve_workload(engine, *platforms[t], setup.workload, *policies[t],
                    setup.run, results[t]);
   }
@@ -213,6 +237,7 @@ FleetResult run_fleet(const FleetConfig& config) {
     tr.name = spec.name.empty() ? spec.workload + "-" + std::to_string(t)
                                 : spec.name;
     tr.workload = spec.workload;
+    tr.policy = spec.policy;
     tr.arrivals = spec.arrivals.kind;
     tr.requests = static_cast<int>(r.requests.size());
     tr.slo = setups[t].run.slo;
@@ -245,12 +270,15 @@ FleetResult run_fleet(const FleetConfig& config) {
   return out;
 }
 
-std::vector<TenantSpec> make_tenant_mix(int tenants, int requests_each,
-                                        double base_rate, ArrivalKind kind,
-                                        bool mixed_kinds) {
+std::vector<TenantSpec> make_tenant_mix(
+    int tenants, int requests_each, double base_rate, ArrivalKind kind,
+    bool mixed_kinds, const std::vector<std::string>& policies) {
   require(tenants >= 1, "tenant mix needs >= 1 tenant");
   require(requests_each >= 1, "tenant mix needs >= 1 request per tenant");
   require(base_rate > 0.0, "tenant mix needs a positive base rate");
+  for (const auto& policy : policies) {
+    require_fleet_policy(policy);
+  }
   std::vector<TenantSpec> out;
   out.reserve(static_cast<std::size_t>(tenants));
   constexpr ArrivalKind kCycle[] = {ArrivalKind::Poisson, ArrivalKind::Mmpp,
@@ -261,6 +289,9 @@ std::vector<TenantSpec> make_tenant_mix(int tenants, int requests_each,
     t.name = t.workload + "-" + std::to_string(i);
     t.requests = requests_each;
     t.size_mc = 1600 + 100 * (i % 5);
+    if (!policies.empty()) {
+      t.policy = policies[static_cast<std::size_t>(i) % policies.size()];
+    }
     t.arrivals.kind = mixed_kinds ? kCycle[i % 3] : kind;
     t.arrivals.rate = base_rate * (0.8 + 0.05 * static_cast<double>(i % 8));
     t.arrivals.burst_rate = 3.0 * t.arrivals.rate;

@@ -6,9 +6,17 @@
 // fleet seed and its tenant index alone — so fleet results are
 // bit-identical regardless of the shard count.
 //
+// Each tenant sizes its stages with a pluggable policy (fleet/policies):
+// the default "fixed" allocation, or any of the paper's §V systems —
+// Janus variants, ORION, GrandSLAM, mean-based, Optimal — so policy mixes
+// can be compared under shared-cluster contention.  Hints tables and
+// profiles are synthesized once per (workload, policy) by a PolicyCatalog
+// and shared read-only across tenants and shards.
+//
 // Tenants contend through a shared ClusterCapacity driven by the epoch
 // control plane (fleet/control): the plan-time packing seeds each stage's
-// pod group from Little's law, and — when epoch_s is finite — every epoch
+// pod group from Little's law at the policy's plan allocation, and — when
+// epoch_s is finite — every epoch
 // all shards pause at a reconciliation barrier, publish the pod counts
 // their Platforms actually ran, and receive the repacked (and possibly
 // autoscaled) co-residency back through live EpochFeeds, so interference
@@ -27,6 +35,7 @@
 #include "fleet/arrivals.hpp"
 #include "fleet/cluster.hpp"
 #include "fleet/control.hpp"
+#include "fleet/policies.hpp"
 #include "stats/histogram.hpp"
 
 namespace janus {
@@ -41,9 +50,18 @@ struct TenantSpec {
   /// End-to-end SLO; 0 = the workload's default at `concurrency`.
   Seconds slo = 0.0;
   Concurrency concurrency = 1;
-  /// Fixed per-stage allocation (the fleet measures load and contention,
-  /// not sizing-policy quality; policy sweeps stay in the paper benches).
+  /// Sizing policy by catalog name (fleet_policy_names()): "fixed" (the
+  /// default, reproducing the PR 2-4 fixed-allocation fleet bit-for-bit),
+  /// "janus"/"janus-"/"janus+", "orion", "grandslam"/"grandslam+",
+  /// "mean_based", or "optimal".  Unknown names fail run_fleet up front.
+  std::string policy = "fixed";
+  /// Per-stage allocation of the "fixed" policy (ignored by the others).
   Millicores size_mc = 1800;
+  /// > 0 makes the tenant's allocations react *directly* to the epoch
+  /// control plane: the policy's size is scaled by
+  /// 1 + alpha * (live stage co-residency - 1), clamped to Kmax (see
+  /// ContentionAwarePolicy).  0 (default) leaves the policy untouched.
+  double contention_alpha = 0.0;
 };
 
 struct FleetConfig {
@@ -64,11 +82,20 @@ struct FleetConfig {
   Seconds epoch_s = kNoEpochs;
   /// Node-pool autoscaler (acts at epoch barriers; inert without them).
   AutoscaleConfig autoscale{};
+  /// Offline-synthesis knobs for the per-tenant sizing policies (profile
+  /// samples, Janus budget grid); only consulted when `catalog` is null.
+  PolicyCatalogConfig policy_catalog{};
+  /// Optional caller-owned catalog shared across run_fleet calls so a
+  /// shard sweep pays the (workload, policy) synthesis cost once; null =
+  /// build a private one.  The catalog's caches do not affect results,
+  /// only the time spent building them.
+  PolicyCatalog* catalog = nullptr;
 };
 
 struct TenantResult {
   std::string name;
   std::string workload;
+  std::string policy;
   ArrivalKind arrivals = ArrivalKind::Poisson;
   int requests = 0;
   Seconds slo = 0.0;
@@ -120,8 +147,12 @@ FleetResult run_fleet(const FleetConfig& config);
 /// Deterministic heterogeneous tenant catalog used by the CLI and the
 /// fleet benches: alternates IA/VA, staggers rates around `base_rate`,
 /// and — when `mixed_kinds` — cycles Poisson/MMPP/diurnal arrivals.
-std::vector<TenantSpec> make_tenant_mix(int tenants, int requests_each,
-                                        double base_rate, ArrivalKind kind,
-                                        bool mixed_kinds);
+/// `policies`, when non-empty, is dealt round-robin over the tenants
+/// (tenant i gets policies[i % size]); every name must be a catalog
+/// policy (fleet_policy_names()), validated here so front ends get the
+/// one-line unknown-policy error before any simulation work starts.
+std::vector<TenantSpec> make_tenant_mix(
+    int tenants, int requests_each, double base_rate, ArrivalKind kind,
+    bool mixed_kinds, const std::vector<std::string>& policies = {});
 
 }  // namespace janus

@@ -1,0 +1,243 @@
+#include "fleet/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "adapter/adapter.hpp"
+#include "policy/early_binding.hpp"
+#include "policy/janus_policy.hpp"
+#include "policy/mean_based.hpp"
+#include "policy/optimal.hpp"
+#include "policy/orion.hpp"
+#include "profiler/profiler.hpp"
+
+namespace janus {
+
+namespace {
+
+/// Catalog names in the order error messages list them.
+const char* const kPolicyNames[] = {"fixed",      "janus",     "janus-",
+                                    "janus+",     "orion",     "grandslam",
+                                    "grandslam+", "mean_based", "optimal"};
+
+Exploration exploration_of(const std::string& name) {
+  if (name == "janus-") return Exploration::FixedP99;
+  if (name == "janus+") return Exploration::HeadAndNext;
+  return Exploration::HeadOnly;
+}
+
+/// Neutral request draw (ws = 1, interference = 1) for plan-time probing
+/// of late-binding policies.
+RequestDraw neutral_draw(std::size_t stages) {
+  RequestDraw draw;
+  draw.ws.assign(stages, 1.0);
+  draw.interference.assign(stages, 1.0);
+  return draw;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fleet_policy_names() {
+  static const std::vector<std::string> names(std::begin(kPolicyNames),
+                                              std::end(kPolicyNames));
+  return names;
+}
+
+bool is_fleet_policy(const std::string& name) noexcept {
+  for (const auto& known : fleet_policy_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+std::string fleet_policy_list() {
+  std::string out;
+  for (const auto& name : fleet_policy_names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+void require_fleet_policy(const std::string& name) {
+  if (!is_fleet_policy(name)) {
+    throw_invalid("unknown sizing policy '" + name +
+                  "' (valid: " + fleet_policy_list() + ")");
+  }
+}
+
+PolicyCatalog::PolicyCatalog(PolicyCatalogConfig config) : config_(config) {
+  require(config_.profile_samples > 0, "catalog needs >= 1 profile sample");
+  require(config_.budget_step > 0, "catalog budget step must be > 0");
+  require(config_.kmin > 0 && config_.kmax >= config_.kmin &&
+              config_.kstep > 0,
+          "catalog millicore grid is degenerate");
+}
+
+const std::vector<LatencyProfile>& PolicyCatalog::profiles(
+    const WorkloadSpec& workload, Concurrency conc) {
+  const auto key = std::make_pair(workload.name, conc);
+  auto it = profiles_.find(key);
+  if (it != profiles_.end()) return it->second;
+  ProfilerConfig prof = default_profiler_config(workload);
+  prof.grid.kmin = config_.kmin;
+  prof.grid.kmax = config_.kmax;
+  prof.grid.kstep = config_.kstep;
+  prof.grid.concurrencies = {conc};
+  prof.samples_per_point = config_.profile_samples;
+  ++stats_.profiles_built;
+  return profiles_
+      .emplace(key, profile_workload(workload, prof))
+      .first->second;
+}
+
+std::shared_ptr<const HintsBundle> PolicyCatalog::bundle(
+    const WorkloadSpec& workload, Concurrency conc, Exploration exploration) {
+  const auto key =
+      std::make_tuple(workload.name, conc, static_cast<int>(exploration));
+  auto it = bundles_.find(key);
+  if (it != bundles_.end()) return it->second;
+  SynthesisConfig synth;
+  synth.kmin = config_.kmin;
+  synth.kmax = config_.kmax;
+  synth.kstep = config_.kstep;
+  synth.concurrency = conc;
+  synth.exploration = exploration;
+  // Janus+ sweeps (p, k) x (p, k); a coarser budget grid keeps it
+  // tractable (same trade bench_util.hpp makes for the paper benches).
+  synth.budget_step = exploration == Exploration::HeadAndNext
+                          ? std::max<BudgetMs>(config_.budget_step, 5)
+                          : config_.budget_step;
+  ++stats_.bundles_built;
+  auto built = std::make_shared<const HintsBundle>(
+      synthesize_bundle(profiles(workload, conc), synth));
+  return bundles_.emplace(key, std::move(built)).first->second;
+}
+
+EarlyBindingInputs PolicyCatalog::early_inputs(const WorkloadSpec& workload,
+                                               Seconds slo, Concurrency conc) {
+  EarlyBindingInputs in;
+  in.profiles = &profiles(workload, conc);
+  in.slo = slo;
+  in.concurrency = conc;
+  in.kmin = config_.kmin;
+  in.kmax = config_.kmax;
+  in.kstep = config_.kstep;
+  return in;
+}
+
+const std::vector<Millicores>& PolicyCatalog::orion(
+    const WorkloadSpec& workload, Seconds slo, Concurrency conc) {
+  const auto key = std::make_tuple(workload.name, conc, slo);
+  auto it = orion_.find(key);
+  if (it != orion_.end()) return it->second;
+  ++stats_.orion_solved;
+  return orion_.emplace(key, orion_sizes(early_inputs(workload, slo, conc)))
+      .first->second;
+}
+
+std::unique_ptr<SizingPolicy> PolicyCatalog::make_policy(
+    const std::string& name, const WorkloadSpec& workload, Seconds slo,
+    Concurrency conc, Millicores fixed_mc) {
+  const std::size_t stages = workload.chain_models().size();
+  if (name == "fixed") {
+    require(fixed_mc > 0, "fixed policy needs a positive allocation");
+    return std::make_unique<FixedSizingPolicy>(
+        "fixed", std::vector<Millicores>(stages, fixed_mc));
+  }
+  if (name == "janus" || name == "janus-" || name == "janus+") {
+    AdapterConfig adapter_config;
+    adapter_config.kmax = config_.kmax;
+    return std::make_unique<JanusPolicy>(
+        janus_variant_name(exploration_of(name)),
+        Adapter(bundle(workload, conc, exploration_of(name)), adapter_config),
+        slo, config_.janus_safety_margin);
+  }
+  if (name == "orion") {
+    return std::make_unique<FixedSizingPolicy>("ORION",
+                                               orion(workload, slo, conc));
+  }
+  if (name == "grandslam" || name == "grandslam+") {
+    const EarlyBindingInputs in = early_inputs(workload, slo, conc);
+    return name == "grandslam" ? make_grandslam(in) : make_grandslam_plus(in);
+  }
+  if (name == "mean_based") {
+    return make_mean_based(profiles(workload, conc), slo, conc, config_.kmin,
+                           config_.kmax, config_.kstep);
+  }
+  if (name == "optimal") {
+    OptimalInputs in;
+    in.models = workload.chain_models();
+    in.slo = slo;
+    in.concurrency = conc;
+    in.kmin = config_.kmin;
+    in.kmax = config_.kmax;
+    return make_optimal(std::move(in));
+  }
+  require_fleet_policy(name);
+  // Registered but without a construction branch above: a catalog bug,
+  // not a caller error.
+  throw_invalid("sizing policy '" + name + "' is registered but has no "
+                "constructor in PolicyCatalog::make_policy");
+}
+
+std::vector<Millicores> PolicyCatalog::plan_sizes(const std::string& name,
+                                                  const WorkloadSpec& workload,
+                                                  Seconds slo,
+                                                  Concurrency conc,
+                                                  Millicores fixed_mc) {
+  const auto models = workload.chain_models();
+  const std::size_t stages = models.size();
+  if (name == "fixed") {
+    require(fixed_mc > 0, "fixed policy needs a positive allocation");
+    return std::vector<Millicores>(stages, fixed_mc);
+  }
+  if (name == "orion") return orion(workload, slo, conc);
+  if (name == "grandslam" || name == "grandslam+") {
+    const EarlyBindingInputs in = early_inputs(workload, slo, conc);
+    return name == "grandslam" ? grandslam_sizes(in)
+                               : grandslam_plus_sizes(in);
+  }
+  // Late-binding policies: walk the chain once at mean conditions (ws = 1,
+  // interference = 1), advancing elapsed time with the model's mean
+  // latency at each chosen size.  Pure function of the catalog artifacts,
+  // so packing stays shard-independent.
+  auto policy = make_policy(name, workload, slo, conc, fixed_mc);
+  const RequestDraw draw = neutral_draw(stages);
+  std::vector<Millicores> sizes;
+  sizes.reserve(stages);
+  Seconds elapsed = 0.0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const Millicores k = policy->size_for_stage(s, elapsed, draw);
+    sizes.push_back(k);
+    elapsed += models[s].exec_time(k, conc, 1.0, 1.0);
+  }
+  return sizes;
+}
+
+ContentionAwarePolicy::ContentionAwarePolicy(
+    std::unique_ptr<SizingPolicy> base, const CoLocationProvider& feed,
+    double alpha, Millicores kmax)
+    : base_(std::move(base)), feed_(&feed), alpha_(alpha), kmax_(kmax) {
+  require(base_ != nullptr, "contention-aware policy needs a base policy");
+  require(alpha_ >= 0.0, "contention alpha must be >= 0");
+  require(kmax_ > 0, "kmax must be > 0");
+}
+
+Millicores ContentionAwarePolicy::size_for_stage(std::size_t stage,
+                                                 Seconds elapsed,
+                                                 const RequestDraw& draw) {
+  const Millicores base = base_->size_for_stage(stage, elapsed, draw);
+  const double coresidency =
+      std::max(1.0, feed_->stage_distribution(stage).mean());
+  const double scaled =
+      static_cast<double>(base) * (1.0 + alpha_ * (coresidency - 1.0));
+  const auto bumped = static_cast<Millicores>(std::lround(scaled));
+  // Growth saturates at kmax, but the decorator never *shrinks* the base
+  // policy's allocation — a base already past kmax stays as-is (zero
+  // contention must be a no-op for any base).
+  return std::max(base, std::min(kmax_, bumped));
+}
+
+}  // namespace janus

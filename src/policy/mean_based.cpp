@@ -10,6 +10,16 @@ MeanBasedPolicy::MeanBasedPolicy(const std::vector<LatencyProfile>& profiles,
   require(!profiles.empty(), "mean-based policy needs profiles");
   require(slo > 0.0, "SLO must be > 0");
   for (Millicores k = kmin; k <= kmax; k += kstep) cores_.push_back(k);
+  tail_mean_.resize(profiles_.size() * cores_.size());
+  for (std::size_t stage = 0; stage < profiles_.size(); ++stage) {
+    for (std::size_t ki = 0; ki < cores_.size(); ++ki) {
+      Seconds total = 0.0;
+      for (std::size_t j = stage; j < profiles_.size(); ++j) {
+        total += mean_latency(j, ki);
+      }
+      tail_mean_[stage * cores_.size() + ki] = total;
+    }
+  }
 }
 
 Seconds MeanBasedPolicy::mean_latency(std::size_t j, std::size_t ki) const {
@@ -24,11 +34,9 @@ Millicores MeanBasedPolicy::size_for_stage(std::size_t stage, Seconds elapsed,
   // the same size fit the remaining budget — the proportional-slack rule
   // Kraken/Xanadu-class systems apply per stage.
   for (std::size_t ki = 0; ki < cores_.size(); ++ki) {
-    Seconds total = 0.0;
-    for (std::size_t j = stage; j < profiles_.size(); ++j) {
-      total += mean_latency(j, ki);
+    if (tail_mean_[stage * cores_.size() + ki] <= remaining) {
+      return cores_[ki];
     }
-    if (total <= remaining) return cores_[ki];
   }
   return cores_.back();  // even Kmax means overrun: allocate everything
 }

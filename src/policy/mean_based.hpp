@@ -39,6 +39,13 @@ class MeanBasedPolicy final : public SizingPolicy {
   Seconds slo_;
   Concurrency concurrency_;
   std::vector<Millicores> cores_;
+  /// tail_mean_[stage * cores + ki] = Σ_{j >= stage} mean_latency(j, ki),
+  /// precomputed: the policy is consulted per stage launch on the fleet
+  /// hot path, and rescanning the profile grid there costs O(stages ×
+  /// cores) per call.  Each entry keeps the original left-to-right
+  /// summation order, so decisions are bit-identical to the on-the-fly
+  /// scan.
+  std::vector<Seconds> tail_mean_;
 };
 
 std::unique_ptr<MeanBasedPolicy> make_mean_based(

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_bench.py — the CI wall-time gate.
+
+The gate itself must be tested: a comparison script that silently stops
+failing is a CI pipeline that silently stops gating.  Covers the warn
+threshold (>20%), the fatal threshold (>35% with --fatal-pct), failed
+runs, and the --require guard for benchmarks missing from the fresh set.
+
+Run directly (python3 tests/test_compare_bench.py) or via CTest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "tools", "compare_bench.py")
+
+
+def write_bench(directory, stem, wall_seconds, status="ok"):
+    path = os.path.join(directory, f"BENCH_{stem}.json")
+    with open(path, "w") as f:
+        json.dump({"bench": f"bench_{stem}", "status": status,
+                   "exit_code": 0 if status == "ok" else 1,
+                   "wall_seconds": wall_seconds, "stdout": ""}, f)
+
+
+def run_compare(base, fresh, *extra):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, "--baselines", base, "--fresh", fresh,
+         *extra],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.base = os.path.join(self._tmp.name, "base")
+        self.fresh = os.path.join(self._tmp.name, "fresh")
+        os.makedirs(self.base)
+        os.makedirs(self.fresh)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_within_threshold_is_ok(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.15)  # +15% < 20% warn line
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_warn_band_reports_but_passes_with_fatal_pct(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.25)  # +25%: warn, not fatal
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertIn("REGRESSION", out)
+        self.assertNotIn("FATAL", out)
+
+    def test_warn_band_fails_with_plain_fatal(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.25)
+        code, out = run_compare(self.base, self.fresh, "--fatal")
+        self.assertEqual(code, 1, out)
+
+    def test_past_fatal_pct_fails(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.40)  # +40% > 35% gate
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FATAL REGRESSION", out)
+
+    def test_fatal_pct_below_warn_threshold_still_gates(self):
+        # The fatal band is the contract; it must trip even when the
+        # delta never reaches the informational warn threshold.
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.18)  # +18% < 20% warn line
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "15")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FATAL REGRESSION", out)
+
+    def test_improvement_is_not_a_regression(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 0.5)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertIn("improvement", out)
+
+    def test_failed_run_is_fatal_with_fatal_pct(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.0, status="fail")
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAILED RUN", out)
+
+    def test_failed_run_only_warns_without_fatal_flags(self):
+        # Report-only mode stays report-only, even for failures.
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.0, status="fail")
+        code, out = run_compare(self.base, self.fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("FAILED RUN", out)
+
+    def test_missing_benchmark_passes_without_require(self):
+        # A baseline with no fresh run is only reported...
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.base, "fleet_scale", 1.0)
+        write_bench(self.fresh, "engine", 1.0)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertIn("no fresh run for: fleet_scale", out)
+
+    def test_missing_required_benchmark_fails(self):
+        # ...unless the gate requires it.
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.base, "fleet_scale", 1.0)
+        write_bench(self.fresh, "engine", 1.0)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35",
+                                "--require", "engine,fleet_scale")
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing or failed: fleet_scale", out)
+
+    def test_failed_required_benchmark_fails_even_in_report_mode(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.0, status="fail")
+        code, out = run_compare(self.base, self.fresh,
+                                "--require", "engine")
+        self.assertEqual(code, 1, out)
+
+    def test_empty_fresh_dir_with_require_fails(self):
+        write_bench(self.base, "engine", 1.0)
+        code, out = run_compare(self.base, self.fresh,
+                                "--require", "engine")
+        self.assertEqual(code, 1, out)
+        code, out = run_compare(self.base, self.fresh)
+        self.assertEqual(code, 0, out)  # nothing to compare, nothing required
+
+    def test_unreadable_fresh_json_is_skipped_not_crashed(self):
+        write_bench(self.base, "engine", 1.0)
+        with open(os.path.join(self.fresh, "BENCH_engine.json"), "w") as f:
+            f.write("{not json")
+        code, out = run_compare(self.base, self.fresh)
+        self.assertEqual(code, 0, out)
+        self.assertIn("skipping unreadable", out)
+        # But a required benchmark whose JSON is unreadable still fails.
+        code, out = run_compare(self.base, self.fresh, "--require", "engine")
+        self.assertEqual(code, 1, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

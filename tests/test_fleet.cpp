@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "fleet/cluster.hpp"
 #include "fleet/control.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/policies.hpp"
 #include "model/trace_synth.hpp"
 #include "model/workloads.hpp"
 #include "sim/engine.hpp"
@@ -622,6 +624,209 @@ TEST(Fleet, TenantMixIsHeterogeneous) {
   EXPECT_TRUE(saw_mmpp);
   EXPECT_TRUE(saw_diurnal);
   EXPECT_NE(mix[0].arrivals.rate, mix[1].arrivals.rate);
+}
+
+// ------------------------------------------------------ sizing policies --
+
+/// Fleet-test-grade synthesis: small enough that every policy-mix test
+/// stays in the tens of milliseconds, deterministic like any other config.
+PolicyCatalogConfig tiny_catalog_config() {
+  PolicyCatalogConfig cfg;
+  cfg.profile_samples = 300;
+  cfg.budget_step = 10;
+  return cfg;
+}
+
+/// Adversarial mixed-policy fleet under the live control plane: every
+/// policy family present, two tenants additionally reacting to the epoch
+/// feed through the contention decorator.
+FleetConfig policy_mix_fleet(int shards) {
+  FleetConfig config;
+  config.tenants = make_tenant_mix(
+      6, 120, 8.0, ArrivalKind::Poisson, /*mixed_kinds=*/true,
+      {"janus", "orion", "mean_based", "fixed", "optimal", "grandslam+"});
+  config.tenants[0].contention_alpha = 0.3;
+  config.tenants[3].contention_alpha = 0.3;
+  config.shards = shards;
+  config.seed = 77;
+  config.epoch_s = 5.0;
+  config.cluster.nodes = 6;
+  config.autoscale.enabled = true;
+  config.policy_catalog = tiny_catalog_config();
+  return config;
+}
+
+TEST(FleetPolicies, NameRegistryIsClosed) {
+  for (const auto& name : fleet_policy_names()) {
+    EXPECT_TRUE(is_fleet_policy(name)) << name;
+  }
+  EXPECT_FALSE(is_fleet_policy("Janus"));  // names are exact, no fuzz
+  EXPECT_FALSE(is_fleet_policy(""));
+  EXPECT_FALSE(is_fleet_policy("grandslam++"));
+  // The error-message list names every policy exactly once.
+  const std::string list = fleet_policy_list();
+  for (const auto& name : fleet_policy_names()) {
+    EXPECT_NE(list.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(FleetPolicies, UnknownPolicyRejectedUpFront) {
+  FleetConfig config = small_fleet(1);
+  config.tenants[0].policy = "nope";
+  try {
+    run_fleet(config);
+    FAIL() << "unknown policy must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    EXPECT_NE(what.find("valid:"), std::string::npos);
+    EXPECT_NE(what.find("janus"), std::string::npos);
+  }
+  // make_tenant_mix validates the round-robin list the same way.
+  EXPECT_THROW(make_tenant_mix(2, 10, 1.0, ArrivalKind::Poisson, false,
+                               {"janus", "bogus"}),
+               std::invalid_argument);
+}
+
+TEST(FleetPolicies, MixBitIdenticalAcrossShardCountsAndReruns) {
+  const FleetResult one = run_fleet(policy_mix_fleet(1));
+  ASSERT_GT(one.epochs, 1);  // the live control plane actually ran
+  const FleetResult again = run_fleet(policy_mix_fleet(1));
+  EXPECT_EQ(one.fleet_e2e.sorted_samples(), again.fleet_e2e.sorted_samples());
+  for (int shards : {2, 4, 8}) {
+    const FleetResult many = run_fleet(policy_mix_fleet(shards));
+    ASSERT_EQ(many.tenants.size(), one.tenants.size());
+    for (std::size_t t = 0; t < one.tenants.size(); ++t) {
+      EXPECT_EQ(one.tenants[t].e2e.sorted_samples(),
+                many.tenants[t].e2e.sorted_samples())
+          << one.tenants[t].policy << " tenant " << t << " at " << shards
+          << " shards";
+      EXPECT_DOUBLE_EQ(one.tenants[t].mean_cpu_mc, many.tenants[t].mean_cpu_mc);
+      EXPECT_DOUBLE_EQ(one.tenants[t].violation_rate,
+                       many.tenants[t].violation_rate);
+    }
+    EXPECT_EQ(one.fleet_e2e.sorted_samples(), many.fleet_e2e.sorted_samples());
+    EXPECT_DOUBLE_EQ(one.fleet_p99, many.fleet_p99);
+    // The epoch audit trail is part of the bit-identical set.
+    ASSERT_EQ(one.epoch_log.size(), many.epoch_log.size());
+    for (std::size_t e = 0; e < one.epoch_log.size(); ++e) {
+      EXPECT_EQ(one.epoch_log[e].nodes, many.epoch_log[e].nodes);
+      EXPECT_EQ(one.epoch_log[e].groups_resized,
+                many.epoch_log[e].groups_resized);
+      EXPECT_EQ(one.epoch_log[e].displaced_pods,
+                many.epoch_log[e].displaced_pods);
+      EXPECT_DOUBLE_EQ(one.epoch_log[e].utilization,
+                       many.epoch_log[e].utilization);
+    }
+  }
+}
+
+TEST(FleetPolicies, CatalogSynthesizesOncePerWorkloadPolicy) {
+  PolicyCatalog catalog(tiny_catalog_config());
+  FleetConfig config = policy_mix_fleet(2);
+  config.catalog = &catalog;
+  (void)run_fleet(config);
+  const PolicyCatalogStats after_first = catalog.stats();
+  // Two workloads in the mix, each profiled exactly once.
+  EXPECT_EQ(after_first.profiles_built, 2);
+  EXPECT_GE(after_first.bundles_built, 1);
+  // A second run — any shard count — reuses every artifact.
+  config.shards = 4;
+  (void)run_fleet(config);
+  EXPECT_EQ(catalog.stats().profiles_built, after_first.profiles_built);
+  EXPECT_EQ(catalog.stats().bundles_built, after_first.bundles_built);
+  EXPECT_EQ(catalog.stats().orion_solved, after_first.orion_solved);
+  // Shared read-only bundles: same immutable object for the same key.
+  const WorkloadSpec ia = make_ia();
+  EXPECT_EQ(catalog.bundle(ia, 1, Exploration::HeadOnly).get(),
+            catalog.bundle(ia, 1, Exploration::HeadOnly).get());
+}
+
+TEST(FleetPolicies, PolicyChangesTenantBehavior) {
+  // Same fleet, one tenant flipped fixed -> janus: that tenant's CPU
+  // profile must change (the policy is actually consulted), everyone
+  // else's randomness must not shift.
+  FleetConfig fixed_fleet = small_fleet(2);
+  fixed_fleet.policy_catalog = tiny_catalog_config();
+  FleetConfig janus_fleet = fixed_fleet;
+  janus_fleet.tenants[0].policy = "janus";
+  const FleetResult a = run_fleet(fixed_fleet);
+  const FleetResult b = run_fleet(janus_fleet);
+  EXPECT_NE(a.tenants[0].mean_cpu_mc, b.tenants[0].mean_cpu_mc);
+  EXPECT_EQ(b.tenants[0].policy, "janus");
+}
+
+TEST(FleetPolicies, PlanSizesFollowThePolicy) {
+  PolicyCatalog catalog(tiny_catalog_config());
+  const WorkloadSpec ia = make_ia();
+  const std::size_t stages = ia.chain_models().size();
+  const auto fixed = catalog.plan_sizes("fixed", ia, 3.0, 1, 1700);
+  EXPECT_EQ(fixed, std::vector<Millicores>(stages, 1700));
+  // Early binding: the plan is the allocation itself.
+  const auto orion = catalog.plan_sizes("orion", ia, 3.0, 1, 1700);
+  ASSERT_EQ(orion.size(), stages);
+  for (Millicores k : orion) {
+    EXPECT_GE(k, kDefaultKmin);
+    EXPECT_LE(k, kDefaultKmax);
+  }
+  // Late binding: deterministic, on the grid, and repeatable.
+  const auto janus = catalog.plan_sizes("janus", ia, 3.0, 1, 1700);
+  EXPECT_EQ(janus, catalog.plan_sizes("janus", ia, 3.0, 1, 1700));
+  ASSERT_EQ(janus.size(), stages);
+  EXPECT_THROW(catalog.plan_sizes("nope", ia, 3.0, 1, 1700),
+               std::invalid_argument);
+}
+
+TEST(FleetPolicies, ContentionAwareScalesWithCoresidency) {
+  auto base = [] {
+    return std::make_unique<FixedSizingPolicy>(
+        "fixed", std::vector<Millicores>{2000, 2000});
+  };
+  const RequestDraw draw;  // fixed policies ignore the draw
+  EpochFeed calm(2, /*live=*/true);
+  calm.set_stage(0, CoLocationDistribution::concentrated(1.0));
+  calm.set_stage(1, CoLocationDistribution::concentrated(1.0));
+  ContentionAwarePolicy alone(base(), calm, 0.5);
+  EXPECT_EQ(alone.size_for_stage(0, 0.0, draw), 2000);  // no contention
+
+  EpochFeed packed(2, /*live=*/true);
+  packed.set_stage(0, CoLocationDistribution::concentrated(3.0));
+  packed.set_stage(1, CoLocationDistribution::concentrated(6.0));
+  ContentionAwarePolicy scaled(base(), packed, 0.5);
+  // 2000 * (1 + 0.5 * 2) = 4000, clamped to Kmax.
+  EXPECT_EQ(scaled.size_for_stage(0, 0.0, draw), 3000);
+  EXPECT_EQ(scaled.size_for_stage(1, 0.0, draw), 3000);
+  ContentionAwarePolicy gentle(base(), packed, 0.1);
+  // 2000 * (1 + 0.1 * 2) = 2400: proportional, not saturated.
+  EXPECT_EQ(gentle.size_for_stage(0, 0.0, draw), 2400);
+  // A base already past kmax is never shrunk — zero contention must be a
+  // no-op for any base allocation.
+  auto big = std::make_unique<FixedSizingPolicy>(
+      "fixed", std::vector<Millicores>{4000, 4000});
+  ContentionAwarePolicy oversized(std::move(big), calm, 0.1);
+  EXPECT_EQ(oversized.size_for_stage(0, 0.0, draw), 4000);
+  EXPECT_TRUE(gentle.late_binding());
+  EXPECT_EQ(gentle.name(), "fixed");  // reporting keeps the base name
+  EXPECT_THROW(ContentionAwarePolicy(nullptr, packed, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ContentionAwarePolicy(base(), packed, -0.1),
+               std::invalid_argument);
+}
+
+TEST(FleetPolicies, HeterogeneousPodSizesPackPerStage) {
+  // Policy tenants plan different millicores per stage; the cluster must
+  // keep per-group pod sizes (and the control plane must pass them
+  // through).
+  ControlPlane control(ClusterConfig{4, 8000},
+                       ControlConfig{kNoEpochs, AutoscaleConfig{}});
+  (void)control.plan_tenant({2, 1, 3}, {1000, 2500, 1500});
+  const ClusterCapacity& cluster = control.cluster();
+  ASSERT_EQ(cluster.group_count(), 3);
+  EXPECT_EQ(cluster.group_pod_mc(0), 1000);
+  EXPECT_EQ(cluster.group_pod_mc(1), 2500);
+  EXPECT_EQ(cluster.group_pod_mc(2), 1500);
+  EXPECT_THROW(control.plan_tenant({1, 1}, {1000}), std::invalid_argument);
+  EXPECT_THROW(cluster.group_pod_mc(3), std::invalid_argument);
 }
 
 }  // namespace

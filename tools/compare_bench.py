@@ -13,9 +13,16 @@ ci/verify.sh runs with --fatal-pct 35: a slow shared box still gets its
 20% warnings in the log without turning the build red, but a >35% wall
 regression — far past scheduler noise — fails CI.
 
+With --require NAME[,NAME...] the named benchmarks (stems, without the
+BENCH_ prefix) must be present in the fresh directory with status "ok";
+a missing or failed required benchmark exits 1 regardless of the other
+flags.  This is the CI gate's guard against a benchmark silently
+vanishing from the run list: without it, "nothing to compare" is
+indistinguishable from "all good".
+
 usage: tools/compare_bench.py [--fresh DIR] [--baselines DIR]
                               [--threshold PCT] [--fatal]
-                              [--fatal-pct PCT]
+                              [--fatal-pct PCT] [--require NAMES]
 """
 
 import argparse
@@ -56,16 +63,30 @@ def main():
     parser.add_argument("--fatal-pct", type=float, default=None,
                         help="exit 1 only for regressions beyond this percent "
                              "(failed runs are always fatal with this flag)")
+    parser.add_argument("--require", default="",
+                        help="comma-separated benchmark stems that must be "
+                             "present and ok in --fresh (missing or failed "
+                             "=> exit 1)")
     args = parser.parse_args()
 
     fresh = load_dir(args.fresh)
     base = load_dir(args.baselines)
+
+    missing_required = []
+    for stem in filter(None, args.require.split(",")):
+        name = f"BENCH_{stem}.json"
+        if name not in fresh or fresh[name].get("status") != "ok":
+            missing_required.append(stem)
+    if missing_required:
+        print(f"compare_bench: required benchmark(s) missing or failed: "
+              f"{', '.join(missing_required)}", file=sys.stderr)
+
     common = sorted(set(fresh) & set(base))
     if not common:
         print(f"compare_bench: nothing to compare "
               f"(fresh={args.fresh!r} has {len(fresh)}, "
               f"baselines={args.baselines!r} has {len(base)})")
-        return 0
+        return 1 if missing_required else 0
 
     regressions = []
     fatal = []
@@ -81,12 +102,16 @@ def main():
             status = "FAILED RUN"
             regressions.append(name)
             fatal.append(name)
+        elif args.fatal_pct is not None and delta > args.fatal_pct:
+            # Checked before the warn threshold so a --fatal-pct below
+            # --threshold still gates (the warn band is informational,
+            # the fatal band is the contract).
+            status = f"FATAL REGRESSION (>{args.fatal_pct:.0f}%)"
+            regressions.append(name)
+            fatal.append(name)
         elif delta > args.threshold:
             status = f"REGRESSION (>{args.threshold:.0f}%)"
             regressions.append(name)
-            if args.fatal_pct is not None and delta > args.fatal_pct:
-                status = f"FATAL REGRESSION (>{args.fatal_pct:.0f}%)"
-                fatal.append(name)
         elif delta < -args.threshold:
             status = "improvement"
         stem = name[len("BENCH_"):-len(".json")]
@@ -112,7 +137,7 @@ def main():
                   f"{', '.join(n[6:-5] for n in fatal)}",
                   file=sys.stderr)
             return 1
-    return 0
+    return 1 if missing_required else 0
 
 
 if __name__ == "__main__":

@@ -19,10 +19,13 @@
 // Everything runs against the built-in workload catalog; CSV files use the
 // same schema as LatencyProfile/HintsTable::to_csv, so tables produced here
 // can be loaded anywhere in the library.
+#include <algorithm>
 #include <cstdio>
 #include <cctype>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,7 @@
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/policies.hpp"
 #include "hints/generator.hpp"
 #include "model/trace_synth.hpp"
 #include "model/workloads.hpp"
@@ -39,6 +43,12 @@
 using namespace janus;
 
 namespace {
+
+/// Usage-class error (exit 2, one line, no usage dump): the command was
+/// understood but an enumerable argument was not in its valid set.
+struct UnknownPolicyError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 int usage(std::FILE* out = stderr) {
   std::fprintf(
@@ -63,6 +73,17 @@ int usage(std::FILE* out = stderr) {
       "                  synthesized production-shaped trace; implies\n"
       "                  --arrivals trace, loops when requests outnumber\n"
       "                  samples\n"
+      "  --policy P[,P]  per-tenant sizing policies, dealt round-robin\n"
+      "                  over the tenants (e.g. janus,orion,mean_based);\n"
+      "                  one name = homogeneous fleet.  Valid (default\n"
+      "                  fixed):\n"
+      "                  %s\n"
+      "                  Hints tables are synthesized once per (workload,\n"
+      "                  policy) and shared read-only across tenants\n"
+      "  --contention-alpha A\n"
+      "                  scale every tenant's allocation by\n"
+      "                  1 + A*(live co-residency - 1): policies react\n"
+      "                  directly to the epoch feed (default 0 = off)\n"
       "  --nodes N       cluster node-pool size at plan time (default 16)\n"
       "  --node-mc N     node capacity in millicores (default 52000)\n"
       "  --epoch-s X     sim-seconds between cross-shard reconciliation\n"
@@ -74,7 +95,8 @@ int usage(std::FILE* out = stderr) {
       "                  latency; scale-in repacks displaced pods)\n"
       "  --json          machine-readable result on stdout\n"
       "\n"
-      "`janus_cli help` (or --help) prints this text.\n");
+      "`janus_cli help` (or --help) prints this text.\n",
+      fleet_policy_list().c_str());
   return out == stderr ? 2 : 0;
 }
 
@@ -92,6 +114,8 @@ struct Flags {
   double rate = 10.0;
   std::string arrivals = "mixed";
   std::string trace;  // CSV path or "synth"; empty = no trace replay
+  std::string policy;  // comma-separated catalog names; empty = all fixed
+  double contention_alpha = 0.0;
   int nodes = 16;
   int node_mc = 52000;
   double epoch_s = 0.0;  // 0 = not set -> kNoEpochs (plan once)
@@ -145,6 +169,14 @@ bool parse_flags(int argc, char** argv, int first, Flags& flags,
       flags.autoscale = true;
     } else if (arg == "--trace") {
       flags.trace = value("--trace");
+    } else if (arg == "--policy") {
+      flags.policy = value("--policy");
+    } else if (arg == "--contention-alpha") {
+      flags.contention_alpha =
+          parse_double(value("--contention-alpha"), "--contention-alpha");
+      if (flags.contention_alpha < 0.0) {
+        throw_invalid("--contention-alpha expects a number >= 0");
+      }
     } else if (arg == "--nodes") {
       flags.nodes = parse_int(value("--nodes"), "--nodes");
     } else if (arg == "--node-mc") {
@@ -349,6 +381,29 @@ std::vector<double> load_trace_gaps(const std::string& source, double rate,
   return gaps;
 }
 
+/// Splits "--policy janus,orion,mean_based" into catalog names.  Unknown
+/// names (and empty segments) are rejected with a one-line error listing
+/// the valid set — exit 2, never a silent fallback.
+std::vector<std::string> parse_policies(const std::string& text) {
+  // Manual split (not getline): a trailing comma must yield an empty last
+  // segment and error like any other bad name, not vanish at EOF.
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string cur = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!is_fleet_policy(cur)) {
+      throw UnknownPolicyError("janus_cli: unknown policy '" + cur +
+                               "' (valid: " + fleet_policy_list() + ")");
+    }
+    out.push_back(cur);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 int cmd_fleet(const Flags& flags) {
   FleetConfig config;
   const bool mixed = flags.arrivals == "mixed";
@@ -373,12 +428,25 @@ int cmd_fleet(const Flags& flags) {
                   "cannot be combined with --arrivals " +
                   flags.arrivals);
   }
+  // Keyed off the *presence* of --policy, not the value: `--policy ""`
+  // must error like any other invalid name, not fall back to fixed.
+  const bool policy_given =
+      std::find(flags.seen.begin(), flags.seen.end(), "--policy") !=
+      flags.seen.end();
+  const std::vector<std::string> policies =
+      policy_given ? parse_policies(flags.policy)
+                   : std::vector<std::string>{};
   // Bad values (e.g. --requests 0) error in make_tenant_mix rather than
   // silently falling back to a default.
   config.tenants =
       make_tenant_mix(flags.tenants, flags.requests, flags.rate,
                       flags.trace.empty() ? kind : ArrivalKind::Poisson,
-                      mixed && flags.trace.empty());
+                      mixed && flags.trace.empty(), policies);
+  if (flags.contention_alpha > 0.0) {
+    for (auto& tenant : config.tenants) {
+      tenant.contention_alpha = flags.contention_alpha;
+    }
+  }
   if (!flags.trace.empty()) {
     // Every tenant replays the same recorded rhythm, rescaled to its own
     // staggered rate so the mix stays heterogeneous.
@@ -407,18 +475,19 @@ int cmd_fleet(const Flags& flags) {
   }
   std::vector<std::vector<std::string>> rows;
   for (const auto& t : result.tenants) {
-    rows.push_back({t.name, to_string(t.arrivals), std::to_string(t.requests),
-                    fmt(t.slo, 1), fmt(t.coresidency, 2), fmt(t.e2e_p50, 3),
+    rows.push_back({t.name, t.policy, to_string(t.arrivals),
+                    std::to_string(t.requests), fmt(t.slo, 1),
+                    fmt(t.coresidency, 2), fmt(t.e2e_p50, 3),
                     fmt(t.e2e_p99, 3), fmt(t.mean_cpu_mc, 0),
                     fmt(100.0 * t.violation_rate, 1) + "%"});
   }
-  rows.push_back({"FLEET", "-", std::to_string(result.total_requests), "-",
-                  "-", fmt(result.fleet_p50, 3), fmt(result.fleet_p99, 3),
+  rows.push_back({"FLEET", "-", "-", std::to_string(result.total_requests),
+                  "-", "-", fmt(result.fleet_p50, 3), fmt(result.fleet_p99, 3),
                   fmt(result.fleet_mean_cpu_mc, 0),
                   fmt(100.0 * result.fleet_violation_rate, 1) + "%"});
-  std::printf("%s", render_table({"tenant", "arrivals", "reqs", "SLO (s)",
-                                  "co-res", "P50 (s)", "P99 (s)", "CPU (mc)",
-                                  ">SLO"},
+  std::printf("%s", render_table({"tenant", "policy", "arrivals", "reqs",
+                                  "SLO (s)", "co-res", "P50 (s)", "P99 (s)",
+                                  "CPU (mc)", ">SLO"},
                                  rows)
                         .c_str());
   std::printf(
@@ -470,11 +539,15 @@ int main(int argc, char** argv) {
       if (!flags_allowed(flags, {"--tenants", "--requests", "--shards",
                                  "--seed", "--rate", "--arrivals", "--trace",
                                  "--nodes", "--node-mc", "--epoch-s",
-                                 "--autoscale", "--json"})) {
+                                 "--autoscale", "--policy",
+                                 "--contention-alpha", "--json"})) {
         return usage();
       }
       return cmd_fleet(flags);
     }
+  } catch (const UnknownPolicyError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "janus_cli: %s\n", e.what());
     return 1;
