@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Static-analysis gate: janus-lint (always) + clang-tidy (when available).
+#
+#   ci/lint.sh                 # configure-if-needed, then lint the tree
+#   BUILD_DIR=build-foo ci/lint.sh
+#   LINT_TIDY=0 ci/lint.sh     # skip clang-tidy even if installed
+#   LINT_TIDY=require ci/lint.sh  # fail if clang-tidy is missing (hosted
+#                                 # lint job uses this so the tidy half of
+#                                 # the gate can never silently vanish)
+#
+# janus-lint runs its deterministic token engine (--engine tokens): the
+# same engine everywhere, regardless of whether a libclang wheel happens
+# to be importable, so a finding reproduces bit-for-bit on every machine.
+# clang-tidy covers the orthogonal general-C++ checks (.clang-tidy at the
+# repo root) over the compilation database.
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+LINT_TIDY="${LINT_TIDY:-auto}"
+
+# The linters need a compilation database; CMAKE_EXPORT_COMPILE_COMMANDS
+# is ON in CMakeLists.txt, so any configured tree has one.
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "== lint: configuring $BUILD_DIR for compile_commands.json =="
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
+echo "== lint: janus-lint (determinism / hot-path / shared-state) =="
+python3 tools/janus_lint.py --engine tokens \
+  --compile-commands "$BUILD_DIR/compile_commands.json" \
+  --baseline tools/lint_baseline.txt
+
+case "$LINT_TIDY" in
+  0)
+    echo "== lint: clang-tidy skipped (LINT_TIDY=0) =="
+    ;;
+  auto|require)
+    if command -v clang-tidy >/dev/null 2>&1; then
+      echo "== lint: clang-tidy ($(clang-tidy --version | head -n1)) =="
+      # Only our translation units — the database also names test/bench
+      # TUs, which is fine, but third-party fetched sources are not ours
+      # to fix.  -quiet keeps the output to actual diagnostics.
+      mapfile -t TUS < <(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "_deps/" not in f:
+        print(f)
+EOF
+)
+      clang-tidy -p "$BUILD_DIR" -quiet --warnings-as-errors='*' "${TUS[@]}"
+    elif [[ "$LINT_TIDY" == "require" ]]; then
+      echo "ci/lint.sh: LINT_TIDY=require but clang-tidy is not installed" >&2
+      exit 2
+    else
+      echo "== lint: clang-tidy not installed; skipping (LINT_TIDY=auto) =="
+    fi
+    ;;
+  *)
+    echo "ci/lint.sh: LINT_TIDY must be auto, require, or 0" \
+         "(got '$LINT_TIDY')" >&2
+    exit 2
+    ;;
+esac
+
+echo "== lint: OK =="

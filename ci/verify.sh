@@ -4,8 +4,12 @@
 #   cmake -B build -S . && cmake --build build -j && \
 #     cd build && ctest --output-on-failure -j
 #
-# On a plain (unsanitized) run two regular steps follow the tier-1 suite:
+# On a plain (unsanitized) run three regular steps follow the tier-1 suite:
 #
+#   * Lint gate — ci/lint.sh runs janus-lint (determinism, hot-path
+#     allocation discipline, shared-state hygiene; see tools/janus_lint.py)
+#     against the compile_commands.json the tier-1 configure just
+#     exported, plus clang-tidy when installed.  LINT=0 skips.
 #   * TSan pass — the fleet drives the thread pool with real concurrency,
 #     so the concurrency-facing suites (fleet/common/sim) are rebuilt under
 #     -fsanitize=thread in build-thread/ and rerun.  TSAN=0 skips.
@@ -30,6 +34,10 @@
 #                                    # {Release,Debug} matrix through this)
 #   SANITIZE=address ci/verify.sh    # AddressSanitizer, full suite
 #   SANITIZE=thread  ci/verify.sh    # ThreadSanitizer, full suite
+#   SANITIZE=undefined ci/verify.sh  # UBSan (hard-fail reports), full suite
+#   LINT=0 ci/verify.sh              # skip the ci/lint.sh static-analysis
+#                                    # gate (it also runs standalone as the
+#                                    # hosted 'lint' job)
 #
 # Sanitizer mode wires the JANUS_SANITIZE CMake toggle and keeps a separate
 # build tree so instrumented and plain objects never mix.
@@ -46,13 +54,13 @@ if [[ -n "$BUILD_TYPE" ]]; then
 fi
 case "$SANITIZE" in
   "") ;;
-  address|thread)
+  address|thread|undefined)
     BUILD_DIR="build-${SANITIZE}"
     CMAKE_ARGS+=("-DJANUS_SANITIZE=${SANITIZE}")
     ;;
   *)
-    echo "ci/verify.sh: SANITIZE must be empty, 'address', or 'thread'" \
-         "(got '${SANITIZE}')" >&2
+    echo "ci/verify.sh: SANITIZE must be empty, 'address', 'thread'," \
+         "or 'undefined' (got '${SANITIZE}')" >&2
     exit 2
     ;;
 esac
@@ -62,6 +70,12 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
 if [[ -z "$SANITIZE" ]]; then
+  if [[ "${LINT:-1}" != "0" ]]; then
+    echo "== verify: static-analysis gate (ci/lint.sh) =="
+    # The tier-1 configure above already exported compile_commands.json
+    # into $BUILD_DIR, so this adds seconds, not a reconfigure.
+    BUILD_DIR="$BUILD_DIR" ci/lint.sh
+  fi
   if [[ "${TSAN:-1}" != "0" ]]; then
     echo "== verify: ThreadSanitizer pass (fleet/common/sim suites) =="
     cmake -B build-thread -S . -DJANUS_SANITIZE=thread

@@ -5,6 +5,7 @@
 
 namespace janus {
 
+// janus-lint: allow(mutable-hints-bundle) sink: frozen to const on entry.
 Adapter::Adapter(HintsBundle bundle, AdapterConfig config)
     : Adapter(std::make_shared<const HintsBundle>(std::move(bundle)),
               config) {}
@@ -57,6 +58,7 @@ bool Adapter::regeneration_suggested() const noexcept {
          stats_.miss_rate() > config_.miss_rate_threshold;
 }
 
+// janus-lint: allow(mutable-hints-bundle) sink: frozen to const on entry.
 void Adapter::install_bundle(HintsBundle bundle) {
   require(bundle.suffix_tables.size() == bundle_->suffix_tables.size(),
           "regenerated bundle has different shape");

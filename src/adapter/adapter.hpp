@@ -44,6 +44,9 @@ struct AdapterStats {
 
 class Adapter {
  public:
+  // janus-lint: allow(mutable-hints-bundle) sink parameter: the bundle is
+  // moved into a shared_ptr<const HintsBundle> before the adapter exists;
+  // no mutable alias survives construction.
   explicit Adapter(HintsBundle bundle, AdapterConfig config = {});
   /// Shares an immutable bundle synthesized elsewhere (the fleet's policy
   /// catalog builds one per (workload, policy) and hands it to every
@@ -73,6 +76,9 @@ class Adapter {
 
   /// Installs freshly regenerated hints (the asynchronous regeneration
   /// path); statistics restart.
+  // janus-lint: allow(mutable-hints-bundle) sink parameter: frozen into
+  // shared_ptr<const HintsBundle> inside; the old bundle stays alive for
+  // readers that still hold it.
   void install_bundle(HintsBundle bundle);
 
   const HintsBundle& bundle() const noexcept { return *bundle_; }

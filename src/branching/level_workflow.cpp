@@ -132,6 +132,10 @@ RunResult run_level_workload(const LevelWorkload& workload,
         platform.invoke(static_cast<int>(id), size, config.concurrency,
                         draw.ws[static_cast<std::size_t>(id)],
                         draw.interference[static_cast<std::size_t>(id)],
+                        // engine.run() below drains every completion
+                        // before `slowest` leaves scope — this loop IS the
+                        // join barrier, so the reference cannot dangle.
+                        // janus-lint: allow(ref-capture-event) run() drains in scope
                         [&slowest](const InvocationOutcome& o) {
                           slowest = std::max(slowest, o.total());
                         });

@@ -1,0 +1,22 @@
+// Source annotations consumed by tools/janus_lint.py.
+//
+// JANUS_HOT marks a function as part of the steady-state event path: the
+// PR 3 contract is that scheduling, dispatching, and completing simulated
+// events performs zero heap allocations once pools are warm.  Inside a
+// JANUS_HOT function janus-lint bans new-expressions (placement new is
+// fine — it is how the slot pool works), make_unique/make_shared and the
+// malloc family, std::function, and container growth calls; a justified
+// allow(...) suppression comment documents the sites that are
+// amortized-free (retained-capacity pools) or deliberate cold paths
+// (pool growth, cold starts).
+//
+// The macro also carries the compilers' `hot` attribute so annotated
+// functions get the optimizer's hot-path treatment — the lint marker and
+// the codegen hint cannot drift apart.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JANUS_HOT [[gnu::hot]]
+#else
+#define JANUS_HOT
+#endif

@@ -16,6 +16,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/annotations.hpp"
+
 namespace janus {
 
 template <typename Sig, std::size_t Capacity>
@@ -31,7 +33,7 @@ class InlineFunction<R(Args...), Capacity> {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineFunction> &&
                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
-  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+  JANUS_HOT InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
     using Fn = std::decay_t<F>;
     static_assert(sizeof(Fn) <= Capacity,
                   "capture too large for InlineFunction's inline storage; "
@@ -65,7 +67,7 @@ class InlineFunction<R(Args...), Capacity> {
     }
   }
 
-  R operator()(Args... args) {
+  JANUS_HOT R operator()(Args... args) {
     // std::function throws bad_function_call here; keep an equally loud
     // (and diagnosable) failure instead of a null indirect call.
     if (!ops_) throw std::bad_function_call();
@@ -93,7 +95,7 @@ class InlineFunction<R(Args...), Capacity> {
     return &ops;
   }
 
-  void take(InlineFunction& other) noexcept {
+  JANUS_HOT void take(InlineFunction& other) noexcept {
     if (other.ops_) {
       other.ops_->relocate(other.storage_, storage_);
       ops_ = other.ops_;

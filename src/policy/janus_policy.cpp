@@ -39,11 +39,11 @@ std::unique_ptr<JanusPolicy> make_janus(
     Seconds slo, Exploration exploration, AdapterConfig adapter_config) {
   config.exploration = exploration;
   adapter_config.kmax = config.kmax;
-  HintsBundle bundle = synthesize_bundle(profiles, config);
-  return std::make_unique<JanusPolicy>(janus_variant_name(exploration),
-                                       Adapter(std::move(bundle),
-                                               adapter_config),
-                                       slo);
+  // The synthesized bundle flows straight into the adapter's freezing sink
+  // constructor — no mutable HintsBundle alias ever exists here.
+  return std::make_unique<JanusPolicy>(
+      janus_variant_name(exploration),
+      Adapter(synthesize_bundle(profiles, config), adapter_config), slo);
 }
 
 }  // namespace janus

@@ -63,7 +63,7 @@ void SimEngine::rebucket() {
   far_.clear();
 }
 
-bool SimEngine::prepare_next() {
+JANUS_HOT bool SimEngine::prepare_next() {
   for (;;) {
     if (!current_.empty()) return true;
     while (next_rung_ < active_rungs_) {
@@ -85,6 +85,8 @@ bool SimEngine::prepare_next() {
         // (all times < current_end_) holds exactly.
         for (std::size_t i = 0; i < current_.size();) {
           if (current_[i].time >= current_end_) {
+            // janus-lint: allow(hot-path-growth) FP stragglers are a
+            // handful per rung at most, into a capacity-retaining bucket.
             rungs_[next_rung_].push_back(current_[i]);
             current_[i] = current_.back();
             current_.pop_back();
@@ -107,12 +109,12 @@ bool SimEngine::prepare_next() {
   }
 }
 
-void SimEngine::run() {
+JANUS_HOT void SimEngine::run() {
   while (step()) {
   }
 }
 
-void SimEngine::run_until(Seconds t) {
+JANUS_HOT void SimEngine::run_until(Seconds t) {
   // prepare_next materializes the next bucket so its heap root is the
   // earliest pending event — the peek the boundary test needs.  An event
   // scheduled at <= t by a firing event is picked up on the next

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/inline_function.hpp"
 #include "common/types.hpp"
 
@@ -69,7 +70,7 @@ class SimEngine {
   /// (through EventFn, which bounds and static_asserts its capture size);
   /// on the steady-state path scheduling performs zero heap allocations.
   template <typename F>
-  void schedule_at(Seconds t, F&& fn) {
+  JANUS_HOT void schedule_at(Seconds t, F&& fn) {
     if (t < now_) t = now_;  // clamp: the past is served "now"
     require(next_seq_ < kMaxSeq, "event sequence space exhausted");
     const EventNode node{
@@ -79,6 +80,8 @@ class SimEngine {
       // Into the bucket being drained: O(log bucket) sift.  The node's
       // globally-largest seq makes it drain after already-queued peers at
       // the same time — the clamp contract.
+      // janus-lint: allow(hot-path-growth) drain bucket keeps its capacity
+      // across epochs (swap in prepare_next recycles it); amortized-free.
       current_.push_back(node);
       std::push_heap(current_.begin(), current_.end(), Later{});
     } else if (next_rung_ < active_rungs_ && t < ladder_end_) {
@@ -91,21 +94,25 @@ class SimEngine {
                             ? active_rungs_ - 1
                             : static_cast<std::size_t>(didx);
       idx = std::min(std::max(idx, next_rung_), active_rungs_ - 1);
+      // janus-lint: allow(hot-path-growth) rungs_ never shrinks, so bucket
+      // vectors retain their high-water capacity across epochs.
       rungs_[idx].push_back(node);
     } else {
+      // janus-lint: allow(hot-path-growth) far_ is cleared (capacity kept)
+      // on every rebucket; growth settles after the first epoch.
       far_.push_back(node);
     }
   }
 
   /// Schedules `fn` after `delay` seconds (>= 0).
   template <typename F>
-  void schedule_after(Seconds delay, F&& fn) {
+  JANUS_HOT void schedule_after(Seconds delay, F&& fn) {
     require(delay >= 0.0, "negative delay");
     schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Executes the next event; returns false when the calendar is empty.
-  bool step() {
+  JANUS_HOT bool step() {
     if (current_.empty() && !prepare_next()) return false;
     std::pop_heap(current_.begin(), current_.end(), Later{});
     const EventNode node = current_.back();
@@ -182,7 +189,7 @@ class SimEngine {
     alignas(std::max_align_t) unsigned char bytes[sizeof(EventFn)];
   };
 
-  EventFn* slot_ptr(std::uint32_t slot) noexcept {
+  JANUS_HOT EventFn* slot_ptr(std::uint32_t slot) noexcept {
     return reinterpret_cast<EventFn*>(
         slabs_[slot / kSlabSlots][slot % kSlabSlots].bytes);
   }
@@ -190,7 +197,7 @@ class SimEngine {
   /// Placement-builds the callable into a pooled slot (freed slots recycle
   /// LIFO, so the line is usually still hot) and returns its index.
   template <typename F>
-  std::uint32_t acquire_slot(F&& fn) {
+  JANUS_HOT std::uint32_t acquire_slot(F&& fn) {
     if (free_slots_.empty()) grow_pool();
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
@@ -198,8 +205,10 @@ class SimEngine {
     return slot;
   }
 
-  void release_slot(std::uint32_t slot) noexcept {
+  JANUS_HOT void release_slot(std::uint32_t slot) noexcept {
     slot_ptr(slot)->~EventFn();
+    // janus-lint: allow(hot-path-growth) free list capacity is reserved in
+    // grow_pool for every slot that exists; push_back never reallocates.
     free_slots_.push_back(slot);
   }
 

@@ -44,7 +44,7 @@ const FunctionModel& Platform::function(int fn_index) const {
   return functions_[static_cast<std::size_t>(fn_index)];
 }
 
-int Platform::place(int fn_index, Millicores size) {
+JANUS_HOT int Platform::place(int fn_index, Millicores size) {
   // Prefer the node already hosting the most pods of this function
   // (co-location packing), then the least-loaded node with room.  The
   // per-node counts come from the incremental pods_per_cell_ counters, not
@@ -71,7 +71,7 @@ int Platform::place(int fn_index, Millicores size) {
   return best;
 }
 
-Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
+JANUS_HOT Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
   // 1. Warm pod already specialized for this function.
   auto& warm = idle_[static_cast<std::size_t>(fn_index) + 1];
   if (!warm.empty()) {
@@ -117,6 +117,9 @@ Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
   p.node = place(fn_index, size);
   p.size = size;
   nodes_[static_cast<std::size_t>(p.node)].used += size;
+  // janus-lint: allow(hot-path-growth) cold-start pod creation: the fleet
+  // reaches a steady pod population, after which this branch never runs
+  // (and a simulated cold start already pays 450 ms, dwarfing the alloc).
   pods_.push_back(p);
   ++pods_per_cell_[cell(p.node, fn_index)];
   ++pods_per_function_[static_cast<std::size_t>(fn_index)];
@@ -124,10 +127,10 @@ Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
   return {static_cast<int>(pods_.size()) - 1, config_.pool.cold_start_s, true};
 }
 
-void Platform::invoke(int fn_index, Millicores size, Concurrency c,
-                      double ws_factor,
-                      std::optional<double> exogenous_interference,
-                      InvokeFn done) {
+JANUS_HOT void Platform::invoke(int fn_index, Millicores size, Concurrency c,
+                                double ws_factor,
+                                std::optional<double> exogenous_interference,
+                                InvokeFn done) {
   const FunctionModel& model = function(fn_index);
   require(size > 0, "size must be > 0 millicores");
   require(c >= 1, "concurrency must be >= 1");
@@ -136,6 +139,8 @@ void Platform::invoke(int fn_index, Millicores size, Concurrency c,
   const Acquired got = acquire(fn_index, size);
   if (got.pod < 0) {
     // Scale-out limit hit: queue until a pod of this function frees up.
+    // janus-lint: allow(hot-path-growth) saturation slow path — the
+    // invocation is about to wait a pod's service time anyway.
     pending_[static_cast<std::size_t>(fn_index)].push_back(
         {size, c, ws_factor, exogenous_interference, std::move(done),
          engine_.now()});
@@ -145,7 +150,7 @@ void Platform::invoke(int fn_index, Millicores size, Concurrency c,
                /*queued_s=*/0.0, std::move(done));
 }
 
-void Platform::start_on_pod(
+JANUS_HOT void Platform::start_on_pod(
     int fn_index, const Acquired& got, Millicores size, Concurrency c,
     double ws_factor, std::optional<double> exogenous_interference,
     Seconds queued_s, InvokeFn done) {
@@ -182,6 +187,8 @@ void Platform::start_on_pod(
         p.busy = false;
         --busy_per_cell_[cell(p.node, fn_index)];
         --busy_per_function_[static_cast<std::size_t>(fn_index)];
+        // janus-lint: allow(hot-path-growth) the idle list previously held
+        // this pod, so its capacity is already sufficient.
         idle_[static_cast<std::size_t>(fn_index) + 1].push_back(pod_index);
         done(outcome);
 

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "model/function_model.hpp"
@@ -164,7 +165,7 @@ class Platform {
                     Seconds queued_s, InvokeFn done);
 
   /// Flat (node, function) cell index for the incremental counters.
-  std::size_t cell(int node, int fn) const noexcept {
+  JANUS_HOT std::size_t cell(int node, int fn) const noexcept {
     return static_cast<std::size_t>(node) * functions_.size() +
            static_cast<std::size_t>(fn);
   }

@@ -1,0 +1,7 @@
+// Fixture: bad-suppression — the allow() carries no justification
+// (line 6), so the underlying finding stays live too.
+#include <cstdlib>
+
+int roll_die() {
+  return rand() % 6;  // janus-lint: allow(determinism-rand)
+}

@@ -1,0 +1,5 @@
+// Fixture: bad-suppression — the allow() names a check that does not
+// exist (line 4), which is itself a finding and never suppressible.
+int identity(int v) {
+  return v;  // janus-lint: allow(no-such-check) typo'd check name
+}

@@ -1,0 +1,40 @@
+// Fixture: constructs the checks must NOT flag — every false-positive
+// guard in one file.  Linted under src/sim/ so the path-scoped checks
+// are live.
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+struct HintsBundle;
+struct Engine { template <class F> void schedule_at(double, F); };
+
+// steady_clock is allowed: reporting elapsed wall time, not behavior.
+using ReportClock = std::chrono::steady_clock;
+
+// Member / other-namespace time() calls are not the libc time().
+// (Stopwatch and sched come from elsewhere; this file is lint-only.)
+struct Stopwatch;
+double probe(Stopwatch* w);
+double probe_impl(Stopwatch* w) { return probe(w) + sched::time(); }
+double probe_member(Stopwatch& w) { return w.time(); }
+
+// const bundle access is the intended consumer pattern.
+double lookup(const HintsBundle& bundle);
+std::shared_ptr<const HintsBundle> shared_bundle();
+
+// Ordered containers are fine in order-sensitive paths.
+std::map<int, double> totals_by_node;
+
+// Placement new in a hot function is how the slot pool works; growth
+// calls outside any hot region are unconstrained.
+JANUS_HOT void* place(void* slot) { return new (slot) int(0); }
+void cold_fill(std::vector<int>& v) { v.push_back(1); }
+
+// Value captures may be scheduled freely; rvalue-ref params (&&) in the
+// argument list are not captures.
+void drive(Engine& engine, std::vector<int>&& batch) {
+  int local = 0;
+  engine.schedule_at(1.0, [local] { (void)local; });
+  (void)batch;
+}

@@ -1,0 +1,6 @@
+// Fixture: determinism-rand — one seeded violation (line 5).
+#include <cstdlib>
+
+int roll_die() {
+  return rand() % 6;
+}

@@ -1,0 +1,6 @@
+// Fixture: determinism-rand with a justified suppression — lints clean.
+#include <cstdlib>
+
+int roll_die() {
+  return rand() % 6;  // janus-lint: allow(determinism-rand) fixture: exercising the suppression path
+}

@@ -1,0 +1,6 @@
+// Fixture: determinism-time — one seeded violation (line 5).
+#include <ctime>
+
+long stamp() {
+  return time(nullptr);
+}

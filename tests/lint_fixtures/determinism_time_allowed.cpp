@@ -1,0 +1,8 @@
+// Fixture: determinism-time with a justified suppression — lints clean.
+#include <ctime>
+
+long stamp() {
+  // Block-above form: the directive anchors to the next code line.
+  // janus-lint: allow(determinism-time) fixture: exercising the suppression path
+  return time(nullptr);
+}

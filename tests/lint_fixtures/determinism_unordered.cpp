@@ -1,0 +1,5 @@
+// Fixture: determinism-unordered — one seeded violation (line 5) when
+// linted under an order-sensitive path (src/sim, src/stats, src/fleet).
+#include <unordered_map>
+
+std::unordered_map<int, double> totals_by_node;

@@ -1,0 +1,5 @@
+// Fixture: determinism-unordered with a justified suppression — clean.
+#include <unordered_map>
+
+// janus-lint: allow(determinism-unordered) fixture: exercising the suppression path
+std::unordered_map<int, double> totals_by_node;

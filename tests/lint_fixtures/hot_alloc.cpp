@@ -1,0 +1,6 @@
+// Fixture: hot-path-alloc — one seeded violation (line 4).  The file is
+// lint-only (never compiled), so JANUS_HOT needs no definition here.
+JANUS_HOT void pump() {
+  int* scratch = new int[4];
+  (void)scratch;
+}

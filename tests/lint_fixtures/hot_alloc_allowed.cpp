@@ -1,0 +1,5 @@
+// Fixture: hot-path-alloc with a justified suppression — lints clean.
+JANUS_HOT void pump() {
+  int* scratch = new int[4];  // janus-lint: allow(hot-path-alloc) fixture: exercising the suppression path
+  (void)scratch;
+}

@@ -1,0 +1,7 @@
+// Fixture: hot-path-growth — one seeded violation (line 6).
+#include <vector>
+
+std::vector<int> queue_;
+JANUS_HOT void enqueue(int v) {
+  queue_.push_back(v);
+}

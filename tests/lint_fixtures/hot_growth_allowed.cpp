@@ -1,0 +1,8 @@
+// Fixture: hot-path-growth with a justified suppression — lints clean.
+#include <vector>
+
+std::vector<int> queue_;
+JANUS_HOT void enqueue(int v) {
+  // janus-lint: allow(hot-path-growth) fixture: exercising the suppression path
+  queue_.push_back(v);
+}

@@ -1,0 +1,7 @@
+// Fixture: hot-path-std-function — one seeded violation (line 5).
+#include <functional>
+
+JANUS_HOT void dispatch() {
+  std::function<void()> callback;
+  (void)callback;
+}

@@ -1,0 +1,7 @@
+// Fixture: hot-path-std-function with a justified suppression — clean.
+#include <functional>
+
+JANUS_HOT void dispatch() {
+  std::function<void()> callback;  // janus-lint: allow(hot-path-std-function) fixture: exercising the suppression path
+  (void)callback;
+}

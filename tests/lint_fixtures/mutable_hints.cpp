@@ -1,0 +1,5 @@
+// Fixture: mutable-hints-bundle — one seeded violation (line 5) when
+// linted outside src/hints/ (producers may hold mutable bundles).
+struct HintsBundle;
+
+void install(HintsBundle bundle);

@@ -1,0 +1,5 @@
+// Fixture: mutable-hints-bundle with a justified suppression — clean.
+struct HintsBundle;
+
+// janus-lint: allow(mutable-hints-bundle) fixture: exercising the suppression path
+void install(HintsBundle bundle);

@@ -1,0 +1,7 @@
+// Fixture: ref-capture-event — one seeded violation (line 6).
+struct Engine { template <class F> void schedule_at(double, F); };
+
+void drive(Engine& engine) {
+  int local = 0;
+  engine.schedule_at(1.0, [&local] { ++local; });
+}

@@ -1,0 +1,8 @@
+// Fixture: ref-capture-event with a justified suppression — lints clean.
+struct Engine { template <class F> void schedule_at(double, F); };
+
+void drive(Engine& engine) {
+  int local = 0;
+  // janus-lint: allow(ref-capture-event) fixture: exercising the suppression path
+  engine.schedule_at(1.0, [&local] { ++local; });
+}

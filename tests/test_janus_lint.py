@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/janus_lint.py.
+
+Each fixture in tests/lint_fixtures/ seeds exactly one violation of one
+check (or its suppressed twin, which must lint clean).  The assertions
+pin the *exact* diagnostic line — path, line number, check name, and
+message — plus the exit code, so a reworded or mis-anchored diagnostic
+fails here before it confuses someone at a real finding.
+
+Runs the linter the way CI does: as a subprocess, token engine pinned.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+LINTER = os.path.join(REPO, "tools", "janus_lint.py")
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+
+
+def run_lint(*extra_args):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--engine", "tokens", "--quiet"]
+        + list(extra_args),
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def lint_fixture(name, as_path):
+    return run_lint("--lint-file", os.path.join(FIXTURES, name),
+                    "--as-path", as_path)
+
+
+class FixtureCase(unittest.TestCase):
+    maxDiff = None
+
+    def assert_finding(self, name, as_path, expected_lines):
+        code, out, err = lint_fixture(name, as_path)
+        self.assertEqual(out.splitlines(), expected_lines, err)
+        self.assertEqual(code, 1)
+
+    def assert_clean(self, name, as_path):
+        code, out, err = lint_fixture(name, as_path)
+        self.assertEqual(out, "", err)
+        self.assertEqual(code, 0)
+
+
+class TestDeterminismRand(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "determinism_rand.cpp", "src/policy/fixture.cpp",
+            ["src/policy/fixture.cpp:5: [determinism-rand] call to rand() "
+             "is nondeterministic across runs; draw from the seeded "
+             "janus::Rng (common/rng.hpp) instead"])
+
+    def test_suppressed(self):
+        self.assert_clean("determinism_rand_allowed.cpp",
+                          "src/policy/fixture.cpp")
+
+
+class TestDeterminismTime(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "determinism_time.cpp", "src/exp/fixture.cpp",
+            ["src/exp/fixture.cpp:5: [determinism-time] time() reads host "
+             "time; simulated behavior must depend only on "
+             "SimEngine::now()"])
+
+    def test_suppressed_block_above(self):
+        # The allow() sits in a comment block above the call — the
+        # directive anchors to the next code line.
+        self.assert_clean("determinism_time_allowed.cpp",
+                          "src/exp/fixture.cpp")
+
+
+class TestDeterminismUnordered(FixtureCase):
+    def test_violation_in_order_sensitive_path(self):
+        self.assert_finding(
+            "determinism_unordered.cpp", "src/sim/fixture.cpp",
+            ["src/sim/fixture.cpp:5: [determinism-unordered] "
+             "std::unordered_map in an order-sensitive path: its "
+             "iteration order varies across standard libraries and runs, "
+             "breaking the bit-identical-metrics contract; use std::map "
+             "or a sorted vector"])
+
+    def test_not_flagged_outside_scope(self):
+        # The same file is legal outside src/{sim,stats,fleet}.
+        self.assert_clean("determinism_unordered.cpp",
+                          "src/policy/fixture.cpp")
+
+    def test_suppressed(self):
+        self.assert_clean("determinism_unordered_allowed.cpp",
+                          "src/sim/fixture.cpp")
+
+
+class TestHotPathAlloc(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "hot_alloc.cpp", "src/sim/fixture.cpp",
+            ["src/sim/fixture.cpp:4: [hot-path-alloc] new-expression in "
+             "JANUS_HOT function 'pump': the steady-state event path must "
+             "not allocate; use the slot pool / placement new"])
+
+    def test_suppressed(self):
+        self.assert_clean("hot_alloc_allowed.cpp", "src/sim/fixture.cpp")
+
+
+class TestHotPathGrowth(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "hot_growth.cpp", "src/sim/fixture.cpp",
+            ["src/sim/fixture.cpp:6: [hot-path-growth] container growth "
+             "call push_back() in JANUS_HOT function 'enqueue' can "
+             "reallocate; pre-size outside the hot path or suppress "
+             "citing the retained-capacity invariant"])
+
+    def test_suppressed(self):
+        self.assert_clean("hot_growth_allowed.cpp", "src/sim/fixture.cpp")
+
+
+class TestHotPathStdFunction(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "hot_std_function.cpp", "src/sim/fixture.cpp",
+            ["src/sim/fixture.cpp:5: [hot-path-std-function] "
+             "std::function in JANUS_HOT function 'dispatch' "
+             "heap-allocates its capture; use janus::InlineFunction "
+             "(common/inline_function.hpp)"])
+
+    def test_suppressed(self):
+        self.assert_clean("hot_std_function_allowed.cpp",
+                          "src/sim/fixture.cpp")
+
+
+class TestMutableHintsBundle(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "mutable_hints.cpp", "src/fleet/fixture.cpp",
+            ["src/fleet/fixture.cpp:5: [mutable-hints-bundle] non-const "
+             "HintsBundle outside src/hints/: bundles are synthesized "
+             "once and shared read-only across tenants and shards; hold "
+             "shared_ptr<const HintsBundle> (sink parameters that "
+             "immediately freeze the bundle may be suppressed with a "
+             "reason)"])
+
+    def test_not_flagged_in_producer(self):
+        # src/hints/ is the producer — mutable bundles are its job.
+        self.assert_clean("mutable_hints.cpp", "src/hints/fixture.cpp")
+
+    def test_suppressed(self):
+        self.assert_clean("mutable_hints_allowed.cpp",
+                          "src/fleet/fixture.cpp")
+
+
+class TestRefCaptureEvent(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "ref_capture.cpp", "src/branching/fixture.cpp",
+            ["src/branching/fixture.cpp:6: [ref-capture-event] "
+             "by-reference lambda capture handed to schedule_at(): the "
+             "closure runs after this statement returns, so stack "
+             "captures dangle; capture by value or shared_ptr (suppress "
+             "with a reason only if the referent provably outlives the "
+             "engine drain)"])
+
+    def test_suppressed(self):
+        self.assert_clean("ref_capture_allowed.cpp",
+                          "src/branching/fixture.cpp")
+
+
+class TestBadSuppression(FixtureCase):
+    def test_unknown_check(self):
+        self.assert_finding(
+            "bad_suppression_unknown.cpp", "src/common/fixture.cpp",
+            ["src/common/fixture.cpp:4: [bad-suppression] suppression "
+             "names unknown check 'no-such-check' (run --list-checks for "
+             "the registry)"])
+
+    def test_missing_reason_keeps_finding_live(self):
+        # A reason-less allow() is a finding AND fails to suppress.
+        self.assert_finding(
+            "bad_suppression_noreason.cpp", "src/policy/fixture.cpp",
+            ["src/policy/fixture.cpp:6: [bad-suppression] suppression for "
+             "'determinism-rand' has no justification; write 'janus-lint: "
+             "allow(determinism-rand) <why this is safe>'",
+             "src/policy/fixture.cpp:6: [determinism-rand] call to rand() "
+             "is nondeterministic across runs; draw from the seeded "
+             "janus::Rng (common/rng.hpp) instead"])
+
+
+class TestCleanFixture(FixtureCase):
+    def test_no_false_positives(self):
+        # Every deliberate non-finding pattern at once, in the strictest
+        # path scope.
+        self.assert_clean("clean.cpp", "src/sim/fixture.cpp")
+
+
+class TestDriver(unittest.TestCase):
+    def test_list_checks_names_full_registry(self):
+        code, out, _ = run_lint("--list-checks")
+        self.assertEqual(code, 0)
+        listed = {line.split()[0] for line in out.splitlines() if line}
+        self.assertEqual(listed, {
+            "bad-suppression", "determinism-rand", "determinism-time",
+            "determinism-unordered", "hot-path-alloc", "hot-path-growth",
+            "hot-path-std-function", "mutable-hints-bundle",
+            "ref-capture-event"})
+
+    def test_whole_tree_is_clean(self):
+        # The gate ci/lint.sh enforces, as a CTest suite: src/ lints
+        # clean against the committed (empty) baseline.
+        code, out, err = run_lint(
+            "--root", REPO,
+            "--baseline", os.path.join(REPO, "tools", "lint_baseline.txt"))
+        self.assertEqual(out, "", err)
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

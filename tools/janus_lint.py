@@ -1,0 +1,773 @@
+#!/usr/bin/env python3
+"""janus-lint: determinism & hot-path invariant checker for the Janus tree.
+
+The reproduction's load-bearing invariants are ones the compiler cannot
+see: fleet metrics must be bit-identical at any shard count, the PR 3
+event path must stay allocation-free in steady state, and hints bundles
+are shared read-only across tenants.  One careless unordered_map
+iteration in a merge path or a std::function in the engine silently
+reintroduces nondeterminism or allocations.  This pass turns those tribal
+rules into machine-checked gates.
+
+Engine
+------
+The canonical engine is a deterministic token-level scanner: it strips
+comments/strings with a real lexer (raw strings included), so it needs no
+compiler, no matching libclang wheel, and produces byte-stable output on
+any host — which is what lets CI gate on it.  When the optional python
+libclang bindings ARE importable (``import clang.cindex``), ``--engine
+auto`` upgrades exactly one check — determinism-unordered — to an
+AST-accurate form that flags only *iteration* over unordered containers
+instead of any mention; every other check is already precise at token
+level.  ``--engine tokens`` (what ci/lint.sh pins) never touches
+libclang.
+
+Checks
+------
+determinism-rand        rand()/srand()/rand_r()/drand48()/std::random_device
+                        anywhere in src/: all randomness must flow through
+                        the seeded janus::Rng.
+determinism-time        time()/clock()/gettimeofday()/clock_gettime() and
+                        std::chrono::system_clock in src/: wall-clock reads
+                        leak host time into simulated behavior.
+                        steady_clock is deliberately allowed — it is used
+                        only to *report* wall time, never to steer it.
+determinism-unordered   unordered_{map,set,multimap,multiset} in the
+                        order-sensitive paths (src/stats, src/fleet,
+                        src/sim): iteration order varies across standard
+                        libraries and runs, which breaks the
+                        bit-identical-at-any-shard-count contract.
+hot-path-alloc          non-placement new / make_unique / make_shared /
+                        malloc-family inside a JANUS_HOT function.
+hot-path-growth         push_back/emplace_back/resize/reserve/insert/...
+                        inside a JANUS_HOT function (growth can
+                        reallocate; retained-capacity pools get a
+                        justified suppression).
+hot-path-std-function   std::function inside a JANUS_HOT function (its
+                        capture heap-allocates; use InlineFunction).
+mutable-hints-bundle    non-const HintsBundle outside src/hints/: bundles
+                        are synthesized once and shared read-only across
+                        tenants and shards.
+ref-capture-event       a by-reference lambda capture handed to
+                        SimEngine::schedule_at/schedule_after or
+                        Platform::invoke: the closure outlives the
+                        statement, so stack captures dangle unless the
+                        scope provably drains the engine first.
+bad-suppression         a janus-lint suppression with no justification or
+                        an unknown check name.
+
+Suppressions
+------------
+A finding is suppressed by a trailing comment on the same line, or by a
+comment (block) directly above it — the directive anchors to the next
+line that holds code::
+
+    foo();  // janus-lint: allow(check-name) reason why this is safe
+
+    // A longer justification can span several comment lines; the
+    // directive may sit anywhere in the block.
+    // janus-lint: allow(check-name) reason why this is safe
+    bar();
+
+The reason is mandatory — an allow() without one is itself a finding.
+
+Baseline
+--------
+``--baseline FILE`` reads committed per-(check, file) finding counts; only
+findings *beyond* the baseline fail the run (new findings fail, legacy
+ones are burned down).  ``--update-baseline`` rewrites the file from the
+current tree.  The committed baseline (tools/lint_baseline.txt) is empty:
+src/sim, src/stats and src/fleet lint clean.
+
+Exit codes: 0 clean (or fully baselined), 1 findings, 2 usage/config
+error.
+"""
+
+import argparse
+import bisect
+import glob
+import json
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Paths whose event/merge order feeds externally observable, pinned output
+# (bit-identity benches assert it); unordered containers are banned here.
+ORDER_SENSITIVE = ("src/stats/", "src/fleet/", "src/sim/")
+
+# HintsBundle may be mutable only where it is produced.
+HINTS_PRODUCER = ("src/hints/",)
+
+RAND_CALLS = {"rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"}
+TIME_CALLS = {"time", "clock", "gettimeofday", "clock_gettime"}
+UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+             "unordered_multiset"}
+ALLOC_CALLS = {"make_unique", "make_shared", "malloc", "calloc", "realloc",
+               "strdup", "aligned_alloc"}
+GROWTH_CALLS = {"push_back", "emplace_back", "resize", "reserve", "insert",
+                "emplace", "append", "push", "push_front", "emplace_front",
+                "assign"}
+SCHEDULING_CALLS = {"schedule_at", "schedule_after", "invoke"}
+
+CHECKS = {
+    "determinism-rand":
+        "nondeterministic random source; use the seeded janus::Rng",
+    "determinism-time":
+        "wall-clock read can steer simulated behavior",
+    "determinism-unordered":
+        "unordered container in an order-sensitive path",
+    "hot-path-alloc":
+        "heap allocation in a JANUS_HOT function",
+    "hot-path-growth":
+        "container growth call in a JANUS_HOT function",
+    "hot-path-std-function":
+        "std::function in a JANUS_HOT function",
+    "mutable-hints-bundle":
+        "non-const HintsBundle outside its producer",
+    "ref-capture-event":
+        "by-reference capture escaping into a scheduled event",
+    "bad-suppression":
+        "malformed janus-lint suppression",
+}
+
+SUPPRESS_RE = re.compile(r"janus-lint:\s*allow\(([A-Za-z0-9_-]+)\)[ \t]*(.*)")
+
+
+class Token(object):
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind      # "id" | "num" | "punct"
+        self.text = text
+        self.line = line
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "%s(%r)@%d" % (self.kind, self.text, self.line)
+
+
+class Finding(object):
+    __slots__ = ("path", "line", "check", "message", "suppressed")
+
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+        self.suppressed = False
+
+    def render(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.check,
+                                   self.message)
+
+
+# --------------------------------------------------------------------------
+# Lexer: comments and string/char literals are consumed exactly (raw
+# strings included) so no banned identifier can hide in — or be faked by —
+# literal text.  Comments are scanned for suppression directives.
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_TWO_CHAR = {"::", "->", "&&", "<<", ">>", "+=", "-=", "==", "!=", "<=",
+             ">=", "||", "++", "--"}
+
+
+def lex(text):
+    """Returns (tokens, comments) where comments is [(line, text), ...]."""
+    tokens = []
+    comments = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#":
+            # #include directives name headers (<unordered_map>, <ctime>)
+            # that would double-report every banned use; the *use* is the
+            # finding, so the directive line is skipped wholesale.  Other
+            # preprocessor lines keep their tokens (JANUS_HOT et al. never
+            # appear in includes, and #define bodies are real code).
+            m = re.match(r"#\s*include\b", text[i:])
+            if m:
+                j = text.find("\n", i)
+                i = n if j < 0 else j
+                continue
+        if c == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                j = text.find("\n", i)
+                j = n if j < 0 else j
+                comments.append((line, text[i + 2:j]))
+                i = j
+                continue
+            if nxt == "*":
+                j = text.find("*/", i + 2)
+                j = n - 2 if j < 0 else j
+                body = text[i + 2:j]
+                comments.append((line, body))
+                line += body.count("\n")
+                i = j + 2
+                continue
+        if c == '"' or (c == "R" and text[i:i + 2] == 'R"'):
+            if c == "R":
+                # Raw string: R"delim( ... )delim"
+                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+                if m:
+                    end = text.find(")%s\"" % m.group(1), i + m.end())
+                    end = n if end < 0 else end + len(m.group(1)) + 2
+                    line += text.count("\n", i, end)
+                    i = end
+                    continue
+                # R not followed by a raw string: plain identifier.
+            if c == '"':
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                line += text.count("\n", i, j)
+                i = j + 1
+                continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+            continue
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'"):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("punct", two, line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+    return tokens, comments
+
+
+# --------------------------------------------------------------------------
+# Suppressions
+
+class Suppressions(object):
+    def __init__(self):
+        self.by_line = {}  # anchored code line -> list of check names
+        self.bad = []      # Finding objects (bad-suppression)
+
+    @classmethod
+    def parse(cls, path, comments, tokens):
+        out = cls()
+        # A directive anchors to the first line at or after it that holds
+        # code, so a justification block above a statement covers that
+        # statement no matter which block line carries the allow().
+        code_lines = sorted({t.line for t in tokens})
+        for line, text in comments:
+            offset = 0
+            for block_line_text in text.split("\n"):
+                for m in SUPPRESS_RE.finditer(block_line_text):
+                    check, reason = m.group(1), m.group(2).strip()
+                    at = line + offset
+                    if check not in CHECKS:
+                        out.bad.append(Finding(
+                            path, at, "bad-suppression",
+                            "suppression names unknown check '%s' "
+                            "(run --list-checks for the registry)" % check))
+                        continue
+                    if not reason:
+                        out.bad.append(Finding(
+                            path, at, "bad-suppression",
+                            "suppression for '%s' has no justification; "
+                            "write 'janus-lint: allow(%s) <why this is "
+                            "safe>'" % (check, check)))
+                        continue
+                    idx = bisect.bisect_left(code_lines, at)
+                    anchor = code_lines[idx] if idx < len(code_lines) else at
+                    out.by_line.setdefault(anchor, []).append(check)
+                offset += 1
+        return out
+
+    def covers(self, finding):
+        return finding.check in self.by_line.get(finding.line, ())
+
+
+# --------------------------------------------------------------------------
+# Hot regions: JANUS_HOT annotates a function; the region is its body.
+
+class HotRegion(object):
+    __slots__ = ("start", "end", "name")  # token index range [start, end)
+
+    def __init__(self, start, end, name):
+        self.start = start
+        self.end = end
+        self.name = name
+
+
+def find_hot_regions(tokens):
+    regions = []
+    i, n = 0, len(tokens)
+    while i < n:
+        if tokens[i].kind == "id" and tokens[i].text == "JANUS_HOT":
+            name = "?"
+            depth = 0
+            j = i + 1
+            body_start = None
+            while j < n:
+                t = tokens[j]
+                if t.text == "(" and depth == 0 and name == "?":
+                    # identifier right before the parameter list
+                    if tokens[j - 1].kind == "id":
+                        name = tokens[j - 1].text
+                if t.text in "([":
+                    depth += 1
+                elif t.text in ")]":
+                    depth -= 1
+                elif depth == 0 and t.text == ";":
+                    break  # declaration only; body lives elsewhere
+                elif depth == 0 and t.text == "{":
+                    body_start = j
+                    break
+                j += 1
+            if body_start is not None:
+                brace = 1
+                j = body_start + 1
+                while j < n and brace > 0:
+                    if tokens[j].text == "{":
+                        brace += 1
+                    elif tokens[j].text == "}":
+                        brace -= 1
+                    j += 1
+                regions.append(HotRegion(body_start, j, name))
+                i = body_start  # nested JANUS_HOT would be caught again
+        i += 1
+    return regions
+
+
+# --------------------------------------------------------------------------
+# Token-level checks
+
+def matching(tokens, i, open_ch, close_ch):
+    """Index just past the token matching tokens[i] == open_ch."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text == open_ch:
+            depth += 1
+        elif tokens[i].text == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def check_file(path, rel, tokens, order_sensitive, hints_producer):
+    findings = []
+    regions = find_hot_regions(tokens)
+    n = len(tokens)
+
+    def prev(i, k=1):
+        return tokens[i - k] if i - k >= 0 else None
+
+    def nxt(i, k=1):
+        return tokens[i + k] if i + k < n else None
+
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        text = tok.text
+        after = nxt(i)
+        before = prev(i)
+
+        # ---- determinism-rand ------------------------------------------
+        if text in RAND_CALLS and after is not None and after.text == "(":
+            findings.append(Finding(
+                rel, tok.line, "determinism-rand",
+                "call to %s() is nondeterministic across runs; draw from "
+                "the seeded janus::Rng (common/rng.hpp) instead" % text))
+        elif text == "random_device":
+            findings.append(Finding(
+                rel, tok.line, "determinism-rand",
+                "std::random_device pulls entropy from the OS; seed a "
+                "janus::Rng from the run config instead"))
+
+        # ---- determinism-time ------------------------------------------
+        elif text == "system_clock":
+            findings.append(Finding(
+                rel, tok.line, "determinism-time",
+                "std::chrono::system_clock reads host wall-clock time; "
+                "simulated behavior must depend only on SimEngine::now() "
+                "(steady_clock is allowed for reporting elapsed wall "
+                "time)"))
+        elif (text in TIME_CALLS and after is not None and
+              after.text == "("):
+            qualified_other = False
+            if before is not None and before.text in (".", "->"):
+                qualified_other = True  # member of some other object
+            elif before is not None and before.text == "::":
+                qual = prev(i, 2)
+                qualified_other = qual is not None and qual.text != "std"
+            if not qualified_other:
+                findings.append(Finding(
+                    rel, tok.line, "determinism-time",
+                    "%s() reads host time; simulated behavior must depend "
+                    "only on SimEngine::now()" % text))
+
+        # ---- determinism-unordered -------------------------------------
+        elif text in UNORDERED and order_sensitive:
+            findings.append(Finding(
+                rel, tok.line, "determinism-unordered",
+                "std::%s in an order-sensitive path: its iteration order "
+                "varies across standard libraries and runs, breaking the "
+                "bit-identical-metrics contract; use std::map or a sorted "
+                "vector" % text))
+
+        # ---- mutable-hints-bundle --------------------------------------
+        elif text == "HintsBundle" and not hints_producer:
+            j = i - 1
+            if (j >= 1 and tokens[j].text == "::" and
+                    tokens[j - 1].text == "janus"):
+                j -= 2
+            qualifier = tokens[j] if j >= 0 else None
+            is_fwd_decl = (qualifier is not None and
+                           qualifier.text in ("struct", "class") and
+                           after is not None and after.text == ";")
+            is_const = qualifier is not None and qualifier.text == "const"
+            if not is_const and not is_fwd_decl:
+                findings.append(Finding(
+                    rel, tok.line, "mutable-hints-bundle",
+                    "non-const HintsBundle outside src/hints/: bundles are "
+                    "synthesized once and shared read-only across tenants "
+                    "and shards; hold shared_ptr<const HintsBundle> (sink "
+                    "parameters that immediately freeze the bundle may be "
+                    "suppressed with a reason)"))
+
+        # ---- ref-capture-event -----------------------------------------
+        elif (text in SCHEDULING_CALLS and after is not None and
+              after.text == "("):
+            arg_end = matching(tokens, i + 1, "(", ")")
+            j = i + 2
+            while j < arg_end:
+                if (tokens[j].text == "[" and
+                        tokens[j - 1].text in ("(", ",")):
+                    intro_end = matching(tokens, j, "[", "]")
+                    for k in range(j + 1, intro_end - 1):
+                        if tokens[k].text == "&":
+                            findings.append(Finding(
+                                rel, tokens[j].line, "ref-capture-event",
+                                "by-reference lambda capture handed to "
+                                "%s(): the closure runs after this "
+                                "statement returns, so stack captures "
+                                "dangle; capture by value or shared_ptr "
+                                "(suppress with a reason only if the "
+                                "referent provably outlives the engine "
+                                "drain)" % text))
+                            break
+                    j = intro_end
+                    continue
+                j += 1
+
+    # ---- hot-path checks (need region context) --------------------------
+    for region in regions:
+        for i in range(region.start, region.end):
+            tok = tokens[i]
+            if tok.kind != "id":
+                continue
+            text = tok.text
+            after = nxt(i)
+            if text == "new":
+                # Placement new — `new (addr) T` — does not allocate.
+                if after is not None and after.text == "(":
+                    continue
+                findings.append(Finding(
+                    rel, tok.line, "hot-path-alloc",
+                    "new-expression in JANUS_HOT function '%s': the "
+                    "steady-state event path must not allocate; use the "
+                    "slot pool / placement new" % region.name))
+            elif (text in ALLOC_CALLS and after is not None and
+                  after.text in ("(", "<")):
+                findings.append(Finding(
+                    rel, tok.line, "hot-path-alloc",
+                    "%s in JANUS_HOT function '%s' heap-allocates; the "
+                    "steady-state event path must not allocate"
+                    % (text, region.name)))
+            elif (text in GROWTH_CALLS and after is not None and
+                  after.text == "(" and
+                  prev(i) is not None and prev(i).text in (".", "->")):
+                findings.append(Finding(
+                    rel, tok.line, "hot-path-growth",
+                    "container growth call %s() in JANUS_HOT function "
+                    "'%s' can reallocate; pre-size outside the hot path "
+                    "or suppress citing the retained-capacity invariant"
+                    % (text, region.name)))
+            elif (text == "function" and prev(i) is not None and
+                  prev(i).text == "::" and prev(i, 2) is not None and
+                  prev(i, 2).text == "std"):
+                findings.append(Finding(
+                    rel, tok.line, "hot-path-std-function",
+                    "std::function in JANUS_HOT function '%s' "
+                    "heap-allocates its capture; use "
+                    "janus::InlineFunction (common/inline_function.hpp)"
+                    % region.name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Optional libclang refinement (``--engine auto``/``clang``): replaces the
+# presence-based determinism-unordered findings with AST-accurate ones that
+# flag only actual iteration (range-for, or a .begin() call) over an
+# unordered container.  Never required: any failure falls back to the token
+# findings.
+
+def _clang_unordered_iterations(cc_path, files):
+    import clang.cindex as ci  # noqa: imported lazily, may be absent
+    found = {}  # rel -> set of lines
+    index = ci.Index.create()
+    compdb = ci.CompilationDatabase.fromDirectory(os.path.dirname(cc_path))
+    for path in files:
+        cmds = compdb.getCompileCommands(path)
+        args = []
+        if cmds:
+            args = [a for a in list(cmds[0].arguments)[1:-1]
+                    if a not in ("-c", "-o")]
+        tu = index.parse(path, args=args)
+        rel = os.path.relpath(path, REPO)
+        for cursor in tu.cursor.walk_preorder():
+            if str(cursor.location.file) != path:
+                continue
+            hit = False
+            if cursor.kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(cursor.get_children())
+                if children and "unordered_" in children[0].type.spelling:
+                    hit = True
+            elif cursor.kind == ci.CursorKind.CALL_EXPR and \
+                    cursor.spelling in ("begin", "end", "cbegin", "cend"):
+                ref = list(cursor.get_children())
+                if ref and "unordered_" in ref[0].type.spelling:
+                    hit = True
+            if hit:
+                found.setdefault(rel, set()).add(cursor.location.line)
+    return found
+
+
+def refine_with_clang(findings, cc_path, engine):
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        if engine == "clang":
+            print("janus-lint: --engine clang requires the python "
+                  "libclang bindings (clang.cindex); falling back is only "
+                  "automatic with --engine auto", file=sys.stderr)
+            sys.exit(2)
+        return findings, "tokens (libclang unavailable)"
+    if not cc_path or not os.path.isfile(cc_path):
+        return findings, "tokens (no compile_commands.json)"
+    try:
+        files = sorted({os.path.join(REPO, f.path)
+                        for f in findings
+                        if f.check == "determinism-unordered"})
+        if not files:
+            return findings, "clang"
+        iters = _clang_unordered_iterations(cc_path, files)
+        kept = []
+        for f in findings:
+            if f.check != "determinism-unordered":
+                kept.append(f)
+            elif f.line in iters.get(f.path, ()):
+                kept.append(f)
+        return kept, "clang"
+    except Exception as err:  # noqa: broad - AST mode is best-effort
+        print("janus-lint: libclang refinement failed (%s); using token "
+              "findings" % err, file=sys.stderr)
+        return findings, "tokens (libclang failed)"
+
+
+# --------------------------------------------------------------------------
+# Baseline
+
+def load_baseline(path):
+    counts = {}
+    if not path or not os.path.isfile(path):
+        return counts
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) != 3:
+                print("janus-lint: malformed baseline line: %r" % line,
+                      file=sys.stderr)
+                sys.exit(2)
+            check, rel, count = parts
+            counts[(check, rel)] = int(count)
+    return counts
+
+
+def save_baseline(path, findings):
+    counts = {}
+    for f in findings:
+        counts[(f.check, f.path)] = counts.get((f.check, f.path), 0) + 1
+    with open(path, "w") as out:
+        out.write("# janus-lint baseline: check|file|count\n")
+        out.write("# New findings beyond these counts fail ci/lint.sh; "
+                  "burn legacy ones down to zero.\n")
+        for (check, rel), count in sorted(counts.items()):
+            out.write("%s|%s|%d\n" % (check, rel, count))
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+def gather_files(args):
+    if args.lint_file:
+        return [(os.path.abspath(p), args.as_path or
+                 os.path.relpath(os.path.abspath(p), REPO))
+                for p in args.lint_file]
+    files = set()
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp", "src/**/*.h"):
+        files.update(glob.glob(os.path.join(args.root, pattern),
+                               recursive=True))
+    # compile_commands contributes TUs under root/src that a glob over a
+    # partial checkout might miss (and proves the export is wired up).
+    if args.compile_commands and os.path.isfile(args.compile_commands):
+        try:
+            with open(args.compile_commands) as f:
+                for entry in json.load(f):
+                    path = os.path.normpath(
+                        os.path.join(entry.get("directory", ""),
+                                     entry["file"]))
+                    if path.startswith(
+                            os.path.join(args.root, "src") + os.sep):
+                        files.add(path)
+        except (OSError, ValueError, KeyError) as err:
+            print("janus-lint: unreadable compile_commands %r: %s"
+                  % (args.compile_commands, err), file=sys.stderr)
+            sys.exit(2)
+    return [(p, os.path.relpath(p, args.root)) for p in sorted(files)]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="determinism & hot-path invariant checker")
+    parser.add_argument("--root", default=REPO,
+                        help="repo root (default: script location/..)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json (adds its src/ TUs to "
+                             "the file set; enables libclang refinement)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed findings baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from the current tree")
+    parser.add_argument("--engine", choices=("auto", "tokens", "clang"),
+                        default="auto",
+                        help="auto: libclang refinement if importable; "
+                             "tokens: pure token engine (what CI pins)")
+    parser.add_argument("--lint-file", action="append", default=None,
+                        help="lint exactly this file (repeatable; for "
+                             "fixture self-tests)")
+    parser.add_argument("--as-path", default=None,
+                        help="treat --lint-file as this repo-relative path "
+                             "for path-scoped checks")
+    parser.add_argument("--list-checks", action="store_true")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-run summary line")
+    args = parser.parse_args()
+
+    if args.list_checks:
+        for name in sorted(CHECKS):
+            print("%-24s %s" % (name, CHECKS[name]))
+        return 0
+
+    args.root = os.path.abspath(args.root)
+    files = gather_files(args)
+    if not files:
+        print("janus-lint: no files to lint under %r" % args.root,
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    suppressed = 0
+    for path, rel in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as err:
+            print("janus-lint: cannot read %s: %s" % (rel, err),
+                  file=sys.stderr)
+            return 2
+        tokens, comments = lex(text)
+        rel_posix = rel.replace(os.sep, "/")
+        sup = Suppressions.parse(rel_posix, comments, tokens)
+        raw = check_file(
+            path, rel_posix, tokens,
+            order_sensitive=rel_posix.startswith(ORDER_SENSITIVE),
+            hints_producer=rel_posix.startswith(HINTS_PRODUCER))
+        findings.extend(sup.bad)  # never suppressible
+        for f in raw:
+            if sup.covers(f):
+                suppressed += 1
+            else:
+                findings.append(f)
+
+    engine = "tokens"
+    if args.engine in ("auto", "clang"):
+        findings, engine = refine_with_clang(
+            findings, args.compile_commands, args.engine)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("janus-lint: --update-baseline needs --baseline",
+                  file=sys.stderr)
+            return 2
+        save_baseline(args.baseline, findings)
+        print("janus-lint: baseline updated (%d finding(s)) -> %s"
+              % (len(findings), args.baseline))
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    budget = dict(baseline)
+    new_findings = []
+    baselined = 0
+    for f in findings:
+        key = (f.check, f.path)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            new_findings.append(f)
+
+    for f in new_findings:
+        print(f.render())
+    stale = sum(v for v in budget.values() if v > 0)
+    if not args.quiet:
+        print("janus-lint: %d new finding(s), %d baselined, %d suppressed "
+              "across %d file(s) [engine: %s]"
+              % (len(new_findings), baselined, suppressed, len(files),
+                 engine))
+        if stale and not new_findings:
+            print("janus-lint: note: baseline lists %d finding(s) that no "
+                  "longer exist; tighten it with --update-baseline" % stale)
+    return 1 if new_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
