@@ -12,6 +12,7 @@
 // The harness shape (spawn workload, capture, one summary line per run)
 // follows load-generator practice a la mutated: keep the measurement loop
 // dumb and push all interpretation into the emitted artifacts.
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -69,52 +70,64 @@ struct BenchResult {
   std::string name;
   int exit_code = -1;
   double wall_seconds = 0.0;
+  long peak_rss_kb = 0;
   std::string stdout_text;
 
   bool ok() const { return exit_code == 0; }
 };
 
-// Single-quote a string for POSIX sh so paths with spaces or shell
-// metacharacters survive popen.
-std::string shell_quote(const std::string& text) {
-  std::string out = "'";
-  for (char c : text) {
-    if (c == '\'') {
-      out += "'\\''";
-    } else {
-      out += c;
-    }
-  }
-  out += '\'';
-  return out;
-}
-
+// fork/exec/wait4 instead of popen: wait4 hands back the child's rusage,
+// so every bench artifact records peak RSS alongside wall time — memory
+// regressions become visible in the same JSON the perf trajectory reads.
+// (popen reaps through the shell, which would also fold sh's own RSS in.)
 BenchResult run_bench(const std::string& bindir, const std::string& name) {
   BenchResult result;
   result.name = name;
-  // Route stderr into the capture too so failure output lands in the JSON.
-  const std::string cmd = shell_quote(bindir + "/" + name) + " 2>&1";
-  const auto start = std::chrono::steady_clock::now();
-  FILE* pipe = ::popen(cmd.c_str(), "r");
-  if (!pipe) {
-    result.stdout_text = "popen failed: " + cmd;
+  const std::string path = bindir + "/" + name;
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    result.stdout_text = "pipe failed for: " + path;
     return result;
   }
-  char buf[4096];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
-    result.stdout_text.append(buf, got);
+  const auto start = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    result.stdout_text = "fork failed for: " + path;
+    return result;
   }
-  const int status = ::pclose(pipe);
+  if (pid == 0) {
+    // Child: stdout and stderr both into the capture pipe so failure
+    // output lands in the JSON.
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[1]);
+    ::execl(path.c_str(), path.c_str(), static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec failed: %s\n", path.c_str());
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  char buf[4096];
+  ssize_t got = 0;
+  while ((got = ::read(fds[0], buf, sizeof buf)) > 0) {
+    result.stdout_text.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fds[0]);
+  int status = 0;
+  struct rusage usage {};
+  const pid_t reaped = ::wait4(pid, &status, 0, &usage);
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
-  if (status == -1) {
+  if (reaped != pid) {
     result.exit_code = -1;
   } else if (WIFEXITED(status)) {
     result.exit_code = WEXITSTATUS(status);
   } else if (WIFSIGNALED(status)) {
     result.exit_code = 128 + WTERMSIG(status);
   }
+  result.peak_rss_kb = usage.ru_maxrss;  // Linux reports KiB
   return result;
 }
 
@@ -136,10 +149,11 @@ bool write_json(const std::string& outdir, const BenchResult& result) {
                "  \"status\": \"%s\",\n"
                "  \"exit_code\": %d,\n"
                "  \"wall_seconds\": %.3f,\n"
+               "  \"peak_rss_kb\": %ld,\n"
                "  \"stdout\": \"%s\"\n"
                "}\n",
                json_escape(result.name).c_str(), result.ok() ? "ok" : "fail",
-               result.exit_code, result.wall_seconds,
+               result.exit_code, result.wall_seconds, result.peak_rss_kb,
                json_escape(result.stdout_text).c_str());
   std::fclose(out);
   std::printf("bench_main: %-32s %-4s %8.3fs -> %s\n", result.name.c_str(),

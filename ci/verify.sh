@@ -77,10 +77,11 @@ if [[ -z "$SANITIZE" ]]; then
     BUILD_DIR="$BUILD_DIR" ci/lint.sh
   fi
   if [[ "${TSAN:-1}" != "0" ]]; then
-    echo "== verify: ThreadSanitizer pass (fleet/common/sim suites) =="
+    echo "== verify: ThreadSanitizer pass (fleet/common/sim/obs suites) =="
     cmake -B build-thread -S . -DJANUS_SANITIZE=thread
-    cmake --build build-thread -j --target test_fleet test_common test_sim
-    (cd build-thread && ctest -R 'test_(fleet|common|sim)' \
+    cmake --build build-thread -j --target test_fleet test_common test_sim \
+      test_obs
+    (cd build-thread && ctest -R 'test_(fleet|common|sim|obs)' \
        --output-on-failure -j)
   fi
   if [[ "${BENCH:-1}" != "0" ]]; then
@@ -96,7 +97,7 @@ if [[ -z "$SANITIZE" ]]; then
     # never satisfy the comparison, and a bench that fails, vanishes, or
     # is silently dropped from this list must fail the build — hence
     # --require and no '|| true'.
-    BENCH_SET=(fleet_scale engine autoscale policy_mix)
+    BENCH_SET=(fleet_scale engine autoscale policy_mix obs_overhead)
     rm -rf "$BUILD_DIR/bench-report"
     mkdir -p "$BUILD_DIR/bench-report"
     "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/types.hpp"
+
 namespace janus {
 
 namespace {
@@ -28,10 +30,30 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+LogLevel log_level_from_string(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw_invalid("unknown log level '" + name +
+                "' (expected debug|info|warn|error|off)");
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  // Pre-format the whole line and emit it as ONE stdio call under the
+  // mutex: fprintf's multi-part formatting could otherwise interleave with
+  // another thread's write between its internal flushes.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[janus ";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[janus %s] %s\n", level_name(level), msg.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace janus

@@ -12,6 +12,14 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
+/// Parses "debug" | "info" | "warn" | "error" | "off"; throws on anything
+/// else (CLI --log-level plumbing).
+LogLevel log_level_from_string(const std::string& name);
+
+/// Emits one complete line.  The line is formatted into a single buffer
+/// and written with one fwrite under the logger mutex, so concurrent
+/// writers (e.g. the fleet's shard threads) can never interleave
+/// characters within a line — each line arrives whole or not at all.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

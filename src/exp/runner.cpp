@@ -105,7 +105,37 @@ struct ServeState {
   Rng live_rng_base{0};
   std::vector<ResourceDim> dims;
   InterferenceModel interference;
+  // Span tracing (null = off): sampled by request index, so the recorded
+  // set is a pure function of the config, never of event interleaving.
+  TraceRing* trace_ring = nullptr;
+  std::size_t trace_sample_every = 1;
+  std::uint32_t trace_tenant = 0;
 };
+
+/// Fixed-width span from one completed stage invocation.  The span start
+/// is reconstructed as now() - total: the completion event fires exactly
+/// queued+startup+exec simulated seconds after the invocation entered the
+/// platform, so the subtraction is exact in the same sense the simulation
+/// is — identical doubles at any shard count.
+void record_span(const ServeState& st, const InFlight& req,
+                 Millicores size, const InvocationOutcome& outcome) {
+  SpanRecord span;
+  span.tenant = st.trace_tenant;
+  span.request = static_cast<std::uint32_t>(req.index);
+  span.stage = static_cast<std::uint16_t>(req.stage);
+  span.cold = outcome.cold_start ? 1 : 0;
+  span.queued = outcome.queued_s > 0.0 ? 1 : 0;
+  span.pod = outcome.pod;
+  span.node = outcome.node;
+  span.colocated = outcome.colocated;
+  span.size_mc = size;
+  span.start_s = st.platform->now() - outcome.total();
+  span.queued_s = outcome.queued_s;
+  span.startup_s = outcome.startup_s;
+  span.exec_s = outcome.exec_s;
+  span.interference = outcome.interference;
+  st.trace_ring->record(span);
+}
 
 void start_request(const std::shared_ptr<ServeState>& st,
                    const std::shared_ptr<InFlight>& req);
@@ -133,6 +163,10 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
       static_cast<int>(req->stage), size, st->concurrency,
       req->draw->ws[req->stage], exo,
       [st, req, size](const InvocationOutcome& outcome) {
+        if (st->trace_ring != nullptr &&
+            req->index % st->trace_sample_every == 0) {
+          record_span(*st, *req, size, outcome);
+        }
         req->elapsed += outcome.total();
         req->record.cpu_mc += static_cast<double>(size);
         req->record.sizes.push_back(size);
@@ -183,6 +217,14 @@ void serve_workload(SimEngine& engine, Platform& platform,
   st->slo = config.slo;
   st->concurrency = config.concurrency;
   st->endogenous_interference = config.endogenous_interference;
+  if (config.trace_ring != nullptr) {
+    require(config.trace_sample_every >= 1,
+            "trace sampling stride must be >= 1");
+    st->trace_ring = config.trace_ring;
+    st->trace_sample_every =
+        static_cast<std::size_t>(config.trace_sample_every);
+    st->trace_tenant = config.trace_tenant;
+  }
   if (config.colocation_provider != nullptr &&
       config.colocation_provider->live()) {
     st->live_feed = config.colocation_provider;

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "fleet/arrivals.hpp"
 #include "model/workloads.hpp"
+#include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "profiler/profiler.hpp"
 #include "sim/platform.hpp"
@@ -59,6 +60,13 @@ struct RunConfig {
   /// is not meaningful in this mode).
   bool endogenous_interference = false;
   PlatformConfig platform{};
+  /// Observability: when set, every completed stage of a sampled request
+  /// (index % trace_sample_every == 0 — deterministic, index-keyed) is
+  /// recorded as a SpanRecord tagged trace_tenant.  The ring must outlive
+  /// the run; null (the default) costs one never-taken branch per stage.
+  TraceRing* trace_ring = nullptr;
+  int trace_sample_every = 1;
+  std::uint32_t trace_tenant = 0;
 };
 
 struct RequestRecord {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/log.hpp"
+
 namespace janus {
 
 ClusterCapacity::ClusterCapacity(ClusterConfig config) : config_(config) {
@@ -229,6 +231,12 @@ ClusterCapacity::ScaleEvent ClusterCapacity::autoscale_step(
       event.displaced_pods += remove_one_node();
       ++event.removed;
     }
+  }
+  if (event.ordered > 0 || event.added > 0 || event.removed > 0) {
+    log_debug("cluster: autoscale ordered=", event.ordered,
+              " added=", event.added, " removed=", event.removed,
+              " displaced_pods=", event.displaced_pods, " nodes=", nodes(),
+              " pending=", pending_nodes(), " utilization=", u);
   }
   return event;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace janus {
 
 void EpochFeed::set_stage(std::size_t stage, CoLocationDistribution dist) {
@@ -75,7 +77,19 @@ void ControlPlane::reconcile(Seconds sim_time,
   snap.utilization = cluster_.utilization();
   // Broadcast the post-repack co-residency (scale-in may have moved pods).
   for (std::size_t t = 0; t < tenants_.size(); ++t) broadcast(t);
+  log_debug("control: epoch ", snap.epoch, " @", sim_time, "s: ",
+            snap.groups_resized, " groups resized, nodes=", snap.nodes, " (+",
+            snap.nodes_added, "/-", snap.nodes_removed, ", ",
+            snap.nodes_ordered, " ordered, ", snap.displaced_pods,
+            " pods displaced), utilization=", snap.utilization);
   history_.push_back(snap);
+}
+
+int ControlPlane::tenant_group(std::size_t tenant, std::size_t stage) const {
+  require(tenant < tenants_.size(), "tenant index out of range");
+  const TenantGroups& groups = tenants_[tenant];
+  require(stage < groups.group_ids.size(), "stage index out of range");
+  return groups.group_ids[stage];
 }
 
 double ControlPlane::tenant_coresidency(std::size_t tenant) const {

@@ -108,6 +108,9 @@ class ControlPlane {
   std::size_t tenants() const noexcept { return tenants_.size(); }
   /// Tenant's current mean co-residency across stages (reporting).
   double tenant_coresidency(std::size_t tenant) const;
+  /// Cluster group id backing (tenant, stage) — lets the observability
+  /// timeline read the group's post-reconcile allocation and placement.
+  int tenant_group(std::size_t tenant, std::size_t stage) const;
 
   const ClusterCapacity& cluster() const noexcept { return cluster_; }
   int epochs_run() const noexcept { return static_cast<int>(history_.size()); }

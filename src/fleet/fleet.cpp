@@ -1,5 +1,6 @@
 #include "fleet/fleet.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "common/json.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "model/workloads.hpp"
 #include "sim/engine.hpp"
@@ -66,7 +68,24 @@ std::string FleetResult::to_json() const {
      << "  \"control\": {\"epochs\": " << epochs
      << ", \"final_nodes\": " << final_nodes
      << ", \"nodes_added\": " << nodes_added
-     << ", \"nodes_removed\": " << nodes_removed << "},\n"
+     << ", \"nodes_removed\": " << nodes_removed << "},\n";
+  os << "  \"obs\": {\"events_executed\": " << obs.events_executed
+     << ", \"invocations\": " << obs.counters.invocations
+     << ", \"cold_starts\": " << obs.counters.cold_starts
+     << ", \"queued\": " << obs.counters.queued
+     << ", \"spans_recorded\": " << obs.counters.spans_recorded
+     << ", \"spans_dropped\": " << obs.counters.spans_dropped
+     << ", \"spans_retained\": " << obs.spans.size()
+     << ", \"timeline_rows\": " << obs.timeline.size()
+     << ", \"peak_pending\": " << obs.peak_pending
+     << ", \"phases\": [";
+  for (std::size_t p = 0; p < obs.phases.size(); ++p) {
+    os << (p > 0 ? ", " : "") << "{\"name\": \""
+       << json_escape(obs.phases[p].name)
+       << "\", \"seconds\": " << fmt_double(obs.phases[p].seconds)
+       << ", \"entries\": " << obs.phases[p].entries << "}";
+  }
+  os << "]},\n"
      << "  \"wall_seconds\": " << fmt_double(wall_seconds) << "\n}\n";
   return os.str();
 }
@@ -77,6 +96,15 @@ FleetResult run_fleet(const FleetConfig& config) {
   require(config.shards >= 1, "fleet needs >= 1 shard");
   require(config.hist_max_s > 0.0 && config.hist_bins > 0,
           "fleet histogram layout must be non-degenerate");
+  require(config.obs.sample_every >= 1, "obs sampling stride must be >= 1");
+  log_info("fleet: ", n, " tenants on ", config.shards,
+           " shards, epoch_s=", config.epoch_s, ", seed=", config.seed);
+
+  // Self-profiling is always on: it is pure cold-path wall-clock
+  // bookkeeping (a handful of steady_clock reads per epoch), reported in
+  // the machine-dependent section alongside wall_seconds.
+  PhaseProfiler prof;
+  prof.begin("plan");
 
   // ---- Plan (shard-independent): workloads, seeds, cluster packing. ----
   // One policy catalog serves every tenant: profiles and hints bundles are
@@ -151,18 +179,40 @@ FleetResult run_fleet(const FleetConfig& config) {
   for (std::size_t s = 0; s < shards; ++s) {
     engines.push_back(std::make_unique<SimEngine>());
   }
+  // Observability sinks.  Sized up front so the addresses handed to the
+  // hot-path hooks stay stable; each shard writes only its own tenants'
+  // sinks (and its own engine gauge), so recording needs no locks.  When
+  // obs is off no sink is armed and every hook stays a null-test branch.
+  std::vector<TraceRing> rings;
+  std::vector<ObsCounters> counters(n);
+  std::vector<EngineObs> engine_obs(shards);
+  if (config.obs.trace) {
+    rings.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      rings.emplace_back(config.obs.ring_capacity);
+    }
+  }
   std::vector<std::unique_ptr<Platform>> platforms;
   std::vector<std::unique_ptr<SizingPolicy>> policies;
   platforms.reserve(n);
   policies.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
-    const TenantSetup& setup = setups[t];
+    TenantSetup& setup = setups[t];
     const TenantSpec& spec = config.tenants[t];
     SimEngine& engine = *engines[t % shards];
     PlatformConfig pc = setup.run.platform;
     pc.seed = setup.run.seed ^ 0x9e3779b97f4a7c15ULL;
     platforms.push_back(std::make_unique<Platform>(
         engine, pc, setup.workload.chain_models(), setup.run.interference));
+    if (config.obs.enabled()) {
+      platforms[t]->set_obs(&counters[t]);
+      engines[t % shards]->set_obs(&engine_obs[t % shards]);
+    }
+    if (config.obs.trace) {
+      setup.run.trace_ring = &rings[t];
+      setup.run.trace_sample_every = config.obs.sample_every;
+      setup.run.trace_tenant = static_cast<std::uint32_t>(t);
+    }
     std::unique_ptr<SizingPolicy> policy =
         catalog.make_policy(spec.policy, setup.workload, setup.run.slo,
                             spec.concurrency, spec.size_mc);
@@ -176,6 +226,13 @@ FleetResult run_fleet(const FleetConfig& config) {
                    setup.run, results[t]);
   }
 
+  // Per-tenant cursor over the (append-only) request records so the
+  // timeline's cumulative SLO attainment costs one pass over new records
+  // per barrier, not a rescan.
+  std::vector<TimelineRow> timeline;
+  std::vector<std::size_t> slo_cursor(n, 0);
+  std::vector<std::uint64_t> slo_violations(n, 0);
+
   const auto started = std::chrono::steady_clock::now();
   {
     ThreadPool pool(shards);
@@ -183,9 +240,11 @@ FleetResult run_fleet(const FleetConfig& config) {
     for (;;) {
       // Advance every shard to the barrier (run_until(inf) = run to
       // drain — the static path does exactly one pass).
+      prof.begin("simulate");
       pool.parallel_for(shards, [&](std::size_t s) {
         engines[s]->run_until(epoch_end);
       });
+      prof.end();
       bool pending = false;
       for (const auto& engine : engines) {
         pending = pending || engine->pending() > 0;
@@ -194,6 +253,7 @@ FleetResult run_fleet(const FleetConfig& config) {
       // Reconcile: shards publish the per-(tenant, stage) pod demand their
       // Platforms actually observed this epoch (peak concurrently-busy
       // pods), in tenant-index order.
+      prof.begin("reconcile");
       std::vector<std::vector<int>> observed(n);
       for (std::size_t t = 0; t < n; ++t) {
         const std::size_t stages = setups[t].workload.chain_models().size();
@@ -205,6 +265,44 @@ FleetResult run_fleet(const FleetConfig& config) {
         platforms[t]->reset_peak_busy();
       }
       control.reconcile(epoch_end, observed);
+      if (config.obs.timeline) {
+        // One row per (tenant, stage), in tenant-index order, reading the
+        // *post-reconcile* packing — all simulated state, so the timeline
+        // is part of the bit-identical artifact set.
+        const EpochSnapshot& snap = control.history().back();
+        const ClusterCapacity& cl = control.cluster();
+        for (std::size_t t = 0; t < n; ++t) {
+          for (; slo_cursor[t] < results[t].requests.size();
+               ++slo_cursor[t]) {
+            if (results[t].requests[slo_cursor[t]].violated) {
+              ++slo_violations[t];
+            }
+          }
+          for (std::size_t s = 0; s < observed[t].size(); ++s) {
+            const int group = control.tenant_group(t, s);
+            TimelineRow row;
+            row.epoch = snap.epoch;
+            row.sim_time = epoch_end;
+            row.tenant = static_cast<std::uint32_t>(t);
+            row.stage = static_cast<std::uint16_t>(s);
+            row.observed_peak_busy = observed[t][s];
+            row.allocated_pods =
+                static_cast<int>(cl.assignment(group).size());
+            row.pod_mc = cl.group_pod_mc(group);
+            row.coresidency = cl.group_coresidency(group);
+            row.completed = slo_cursor[t];
+            row.violations = slo_violations[t];
+            row.nodes = snap.nodes;
+            row.nodes_ordered = snap.nodes_ordered;
+            row.nodes_added = snap.nodes_added;
+            row.nodes_removed = snap.nodes_removed;
+            row.displaced_pods = snap.displaced_pods;
+            row.utilization = snap.utilization;
+            timeline.push_back(row);
+          }
+        }
+      }
+      prof.end();
       epoch_end += control.epoch_s();
     }
   }
@@ -212,6 +310,7 @@ FleetResult run_fleet(const FleetConfig& config) {
   const ClusterCapacity& cluster = control.cluster();
 
   // ---- Aggregate in tenant order (fixed fold => reproducible bits). ----
+  prof.begin("merge");
   FleetResult out;
   out.shards = config.shards;
   out.wall_seconds =
@@ -257,7 +356,24 @@ FleetResult run_fleet(const FleetConfig& config) {
       violations += req.violated ? 1 : 0;
     }
     total += r.requests.size();
+    // Tenant-order counter fold: platform tallies + hook tallies + ring
+    // bookkeeping, merged exactly like the metric distributions.
+    ObsCounters tenant_counters = counters[t];
+    tenant_counters.invocations = platforms[t]->invocations();
+    tenant_counters.cold_starts = platforms[t]->cold_starts();
+    if (config.obs.trace) {
+      tenant_counters.spans_recorded = rings[t].recorded();
+      tenant_counters.spans_dropped = rings[t].dropped();
+      rings[t].drain_to(out.obs.spans);
+    }
+    out.obs.counters.merge(tenant_counters);
     out.tenants.push_back(std::move(tr));
+  }
+  out.obs.timeline = std::move(timeline);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.obs.events_executed += engines[s]->executed();
+    out.obs.peak_pending =
+        std::max(out.obs.peak_pending, engine_obs[s].peak_pending);
   }
   out.total_requests = total;
   out.fleet_violation_rate =
@@ -267,6 +383,8 @@ FleetResult run_fleet(const FleetConfig& config) {
       total > 0 ? cpu_total / static_cast<double>(total) : 0.0;
   out.fleet_p50 = out.fleet_e2e.percentile(50.0);
   out.fleet_p99 = out.fleet_e2e.percentile(99.0);
+  prof.end();
+  out.obs.phases = prof.phases();
   return out;
 }
 

@@ -36,6 +36,10 @@
 #include "fleet/cluster.hpp"
 #include "fleet/control.hpp"
 #include "fleet/policies.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "stats/histogram.hpp"
 
 namespace janus {
@@ -90,6 +94,11 @@ struct FleetConfig {
   /// build a private one.  The catalog's caches do not affect results,
   /// only the time spent building them.
   PolicyCatalog* catalog = nullptr;
+  /// Observability plane (span tracing, epoch timeline, sampling, ring
+  /// sizing).  Off by default: the hot-path hooks then cost one
+  /// never-taken null-pointer branch per event.  Everything recorded is
+  /// deterministic — see FleetObs for the machine-dependent carve-outs.
+  ObsConfig obs{};
 };
 
 struct TenantResult {
@@ -108,6 +117,31 @@ struct TenantResult {
   double coresidency = 1.0;
   EmpiricalDistribution e2e;
   Histogram e2e_hist{0.0, 1.0, 1};
+};
+
+/// The run's observability record.  Split by determinism class:
+/// `counters`, `spans`, `timeline`, and `events_executed` are pure
+/// functions of (seed, config) — merged in tenant-index order and
+/// bit-identical at any shard count — while `phases` (wall-clock) and
+/// `peak_pending` (calendar occupancy, which depends on which tenants
+/// share a shard) are machine/layout-dependent, the same carve-out
+/// FleetResult makes for wall_seconds.
+struct FleetObs {
+  ObsCounters counters;
+  /// Sampled spans, drained from the per-tenant rings in tenant order
+  /// (empty unless FleetConfig::obs.trace).
+  std::vector<SpanRecord> spans;
+  /// One row per (barrier, tenant, stage) (empty unless obs.timeline).
+  std::vector<TimelineRow> timeline;
+  /// Σ events executed across shard engines (a per-tenant sum, so it is
+  /// shard-independent).
+  std::uint64_t events_executed = 0;
+  // ---- Machine-dependent (reporting only, never compared bit-for-bit).
+  /// Wall-clock breakdown of run_fleet: plan / simulate / reconcile /
+  /// merge, in first-entry order.
+  std::vector<PhaseProfiler::Phase> phases;
+  /// Max calendar occupancy across shard engines (0 when obs is off).
+  std::uint64_t peak_pending = 0;
 };
 
 struct FleetResult {
@@ -132,8 +166,11 @@ struct FleetResult {
   /// Per-barrier audit trail (empty on the static path).
   std::vector<EpochSnapshot> epoch_log;
   /// Wall-clock of the shard execution (not part of the deterministic
-  /// metric set — it is the one machine-dependent field).
+  /// metric set — machine-dependent, like obs.phases).
   double wall_seconds = 0.0;
+  /// Observability record (always carries phases + events_executed; spans
+  /// and timeline fill in when the matching FleetConfig::obs pillar is on).
+  FleetObs obs;
 
   /// Stable machine-readable rendering (for `janus_cli fleet --json` and
   /// the fleet benches).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "adapter/adapter.hpp"
+#include "common/log.hpp"
 #include "policy/early_binding.hpp"
 #include "policy/janus_policy.hpp"
 #include "policy/mean_based.hpp"
@@ -87,6 +88,8 @@ const std::vector<LatencyProfile>& PolicyCatalog::profiles(
   prof.grid.concurrencies = {conc};
   prof.samples_per_point = config_.profile_samples;
   ++stats_.profiles_built;
+  log_info("catalog: profiling workload '", workload.name, "' @conc=", conc,
+           " (", config_.profile_samples, " samples/point)");
   return profiles_
       .emplace(key, profile_workload(workload, prof))
       .first->second;
@@ -110,6 +113,8 @@ std::shared_ptr<const HintsBundle> PolicyCatalog::bundle(
                           ? std::max<BudgetMs>(config_.budget_step, 5)
                           : config_.budget_step;
   ++stats_.bundles_built;
+  log_info("catalog: synthesizing hints for workload '", workload.name,
+           "' @conc=", conc, " exploration=", static_cast<int>(exploration));
   auto built = std::make_shared<const HintsBundle>(
       synthesize_bundle(profiles(workload, conc), synth));
   return bundles_.emplace(key, std::move(built)).first->second;

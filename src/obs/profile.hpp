@@ -1,0 +1,70 @@
+// Self-profiling: a wall-clock phase breakdown of run_fleet (catalog
+// synthesis + planning, per-shard simulation, barrier reconciliation,
+// metric merge).
+//
+// Uses steady_clock — the one host clock janus-lint's determinism-time
+// check deliberately allows, because it only ever *reports* elapsed wall
+// time and never steers simulated behavior.  Phase seconds are therefore
+// machine-dependent, like FleetResult::wall_seconds, and excluded from the
+// bit-identical metric set; phase *names and order* are deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janus {
+
+class PhaseProfiler {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t entries = 0;  // how many begin() calls hit this phase
+  };
+
+  /// Closes the open phase (if any) and starts accumulating into `name`.
+  /// Re-entering a name accumulates into the existing phase, so the
+  /// simulate/reconcile alternation of the epoch loop folds into two rows.
+  void begin(const char* name) {
+    end();
+    open_ = &slot(name);
+    ++open_->entries;
+    started_ = std::chrono::steady_clock::now();
+  }
+
+  /// Closes the open phase; harmless when none is open.
+  void end() {
+    if (open_ == nullptr) return;
+    open_->seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+    open_ = nullptr;
+  }
+
+  /// Phases in first-begin() order (a deterministic order: it depends only
+  /// on the code path, never on timing).
+  const std::vector<Phase>& phases() const noexcept { return phases_; }
+
+  double total_seconds() const noexcept {
+    double total = 0.0;
+    for (const Phase& phase : phases_) total += phase.seconds;
+    return total;
+  }
+
+ private:
+  Phase& slot(const char* name) {
+    for (Phase& phase : phases_) {
+      if (phase.name == name) return phase;
+    }
+    phases_.push_back(Phase{name, 0.0, 0});
+    return phases_.back();
+  }
+
+  std::vector<Phase> phases_;
+  Phase* open_ = nullptr;
+  std::chrono::steady_clock::time_point started_{};
+};
+
+}  // namespace janus

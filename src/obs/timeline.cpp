@@ -1,0 +1,103 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+
+namespace janus {
+
+namespace {
+
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string timeline_to_csv(const std::vector<TimelineRow>& rows) {
+  std::string out =
+      "epoch,sim_time_s,tenant,stage,observed_peak_busy,allocated_pods,"
+      "pod_mc,coresidency,completed,violations,nodes,nodes_ordered,"
+      "nodes_added,nodes_removed,displaced_pods,utilization\n";
+  for (const TimelineRow& row : rows) {
+    out += std::to_string(row.epoch);
+    out += ',';
+    out += fmt_g(row.sim_time);
+    out += ',';
+    out += std::to_string(row.tenant);
+    out += ',';
+    out += std::to_string(row.stage);
+    out += ',';
+    out += std::to_string(row.observed_peak_busy);
+    out += ',';
+    out += std::to_string(row.allocated_pods);
+    out += ',';
+    out += std::to_string(row.pod_mc);
+    out += ',';
+    out += fmt_g(row.coresidency);
+    out += ',';
+    out += std::to_string(row.completed);
+    out += ',';
+    out += std::to_string(row.violations);
+    out += ',';
+    out += std::to_string(row.nodes);
+    out += ',';
+    out += std::to_string(row.nodes_ordered);
+    out += ',';
+    out += std::to_string(row.nodes_added);
+    out += ',';
+    out += std::to_string(row.nodes_removed);
+    out += ',';
+    out += std::to_string(row.displaced_pods);
+    out += ',';
+    out += fmt_g(row.utilization);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string timeline_to_json(const std::vector<TimelineRow>& rows) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TimelineRow& row = rows[i];
+    out += R"({"epoch":)";
+    out += std::to_string(row.epoch);
+    out += R"(,"sim_time_s":)";
+    out += fmt_g(row.sim_time);
+    out += R"(,"tenant":)";
+    out += std::to_string(row.tenant);
+    out += R"(,"stage":)";
+    out += std::to_string(row.stage);
+    out += R"(,"observed_peak_busy":)";
+    out += std::to_string(row.observed_peak_busy);
+    out += R"(,"allocated_pods":)";
+    out += std::to_string(row.allocated_pods);
+    out += R"(,"pod_mc":)";
+    out += std::to_string(row.pod_mc);
+    out += R"(,"coresidency":)";
+    out += fmt_g(row.coresidency);
+    out += R"(,"completed":)";
+    out += std::to_string(row.completed);
+    out += R"(,"violations":)";
+    out += std::to_string(row.violations);
+    out += R"(,"nodes":)";
+    out += std::to_string(row.nodes);
+    out += R"(,"nodes_ordered":)";
+    out += std::to_string(row.nodes_ordered);
+    out += R"(,"nodes_added":)";
+    out += std::to_string(row.nodes_added);
+    out += R"(,"nodes_removed":)";
+    out += std::to_string(row.nodes_removed);
+    out += R"(,"displaced_pods":)";
+    out += std::to_string(row.displaced_pods);
+    out += R"(,"utilization":)";
+    out += fmt_g(row.utilization);
+    out += '}';
+    if (i + 1 < rows.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace janus

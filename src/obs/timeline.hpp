@@ -1,0 +1,53 @@
+// Epoch timeline: one structured row per (reconciliation barrier, tenant,
+// stage), built by run_fleet right after each ControlPlane::reconcile and
+// merged in tenant-index order — the control plane's audit trail at
+// per-stage resolution.
+//
+// Every field is either simulated state (sim_time, observed demand,
+// post-repack allocation, co-residency, SLO attainment so far) or the
+// epoch's deterministic autoscale outcome, so the emitted CSV/JSON is part
+// of the bit-identical-at-any-shard-count artifact set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace janus {
+
+struct TimelineRow {
+  int epoch = 0;
+  Seconds sim_time = 0.0;
+  std::uint32_t tenant = 0;
+  std::uint16_t stage = 0;
+  /// Peak concurrently-busy pods the tenant's Platform observed this epoch
+  /// (the demand signal published at the barrier).
+  int observed_peak_busy = 0;
+  /// Pods the control plane allocated to the (tenant, stage) group after
+  /// this barrier's resize + repack.
+  int allocated_pods = 0;
+  Millicores pod_mc = 0;
+  /// Mean same-group co-residency of the post-repack placement.
+  double coresidency = 1.0;
+  /// Tenant requests completed / in violation by this barrier (cumulative
+  /// — "SLO attainment so far").
+  std::uint64_t completed = 0;
+  std::uint64_t violations = 0;
+  // Epoch-level cluster state, repeated per row so the CSV stays flat.
+  int nodes = 0;
+  int nodes_ordered = 0;
+  int nodes_added = 0;
+  int nodes_removed = 0;
+  int displaced_pods = 0;
+  double utilization = 0.0;
+};
+
+/// Flat CSV with a fixed header, rows in (epoch, tenant, stage) order.
+std::string timeline_to_csv(const std::vector<TimelineRow>& rows);
+
+/// JSON array of row objects — same data, same order.
+std::string timeline_to_json(const std::vector<TimelineRow>& rows);
+
+}  // namespace janus

@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace janus {
+
+void TraceRing::drain_to(std::vector<SpanRecord>& out) const {
+  out.reserve(out.size() + count_);
+  // Oldest retained span: head_ when the ring has wrapped, 0 before.
+  const std::size_t first = count_ == spans_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(spans_[(first + i) % spans_.size()]);
+  }
+}
+
+namespace {
+
+/// Fixed-format doubles: snprintf with an explicit format is byte-stable
+/// for a given value, which is what makes the exported artifacts
+/// comparable with memcmp across shard counts and reruns.
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Microsecond timestamps for trace_event (ts/dur are µs by spec);
+/// millinanosecond precision keeps sub-millisecond startups visible.
+std::string fmt_us(Seconds s) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", s * 1e6);
+  return buf;
+}
+
+void append_complete_event(std::string& out, const SpanRecord& span,
+                           const char* name, Seconds start, Seconds dur,
+                           bool with_args) {
+  out += R"({"ph":"X","pid":)";
+  out += std::to_string(span.tenant);
+  out += R"(,"tid":)";
+  out += std::to_string(span.stage);
+  out += R"(,"ts":)";
+  out += fmt_us(start);
+  out += R"(,"dur":)";
+  out += fmt_us(dur);
+  out += R"(,"name":")";
+  out += name;
+  out += '"';
+  if (with_args) {
+    out += R"(,"args":{"request":)";
+    out += std::to_string(span.request);
+    out += R"(,"pod":)";
+    out += std::to_string(span.pod);
+    out += R"(,"node":)";
+    out += std::to_string(span.node);
+    out += R"(,"colocated":)";
+    out += std::to_string(span.colocated);
+    out += R"(,"size_mc":)";
+    out += std::to_string(span.size_mc);
+    out += R"(,"interference":)";
+    out += fmt_g(span.interference);
+    out += '}';
+  }
+  out += "},\n";
+}
+
+}  // namespace
+
+std::string trace_to_chrome_json(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[\n";
+  // Process-name metadata: one per tenant, in first-appearance order
+  // (spans arrive merged in tenant-index order, so this is tenant order).
+  std::uint32_t last_tenant = ~std::uint32_t{0};
+  for (const SpanRecord& span : spans) {
+    if (span.tenant != last_tenant) {
+      last_tenant = span.tenant;
+      out += R"({"ph":"M","pid":)";
+      out += std::to_string(span.tenant);
+      out += R"(,"name":"process_name","args":{"name":"tenant )";
+      out += std::to_string(span.tenant);
+      out += "\"}},\n";
+    }
+  }
+  for (const SpanRecord& span : spans) {
+    Seconds at = span.start_s;
+    if (span.queued_s > 0.0) {
+      append_complete_event(out, span, "queue", at, span.queued_s, false);
+      at += span.queued_s;
+    }
+    if (span.startup_s > 0.0) {
+      append_complete_event(out, span,
+                            span.cold != 0 ? "cold-start" : "warm-start", at,
+                            span.startup_s, false);
+      at += span.startup_s;
+    }
+    append_complete_event(out, span, "exec", at, span.exec_s, true);
+  }
+  // Drop the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string trace_to_csv(const std::vector<SpanRecord>& spans) {
+  std::string out =
+      "tenant,request,stage,start_s,queued_s,startup_s,exec_s,pod,node,"
+      "colocated,size_mc,interference,cold,queued\n";
+  for (const SpanRecord& span : spans) {
+    out += std::to_string(span.tenant);
+    out += ',';
+    out += std::to_string(span.request);
+    out += ',';
+    out += std::to_string(span.stage);
+    out += ',';
+    out += fmt_g(span.start_s);
+    out += ',';
+    out += fmt_g(span.queued_s);
+    out += ',';
+    out += fmt_g(span.startup_s);
+    out += ',';
+    out += fmt_g(span.exec_s);
+    out += ',';
+    out += std::to_string(span.pod);
+    out += ',';
+    out += std::to_string(span.node);
+    out += ',';
+    out += std::to_string(span.colocated);
+    out += ',';
+    out += std::to_string(span.size_mc);
+    out += ',';
+    out += fmt_g(span.interference);
+    out += ',';
+    out += std::to_string(span.cold);
+    out += ',';
+    out += std::to_string(span.queued);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace janus

@@ -1,0 +1,98 @@
+// Request span tracing: fixed-width per-stage records in a preallocated
+// ring buffer, exported as Chrome/Perfetto trace_event JSON or CSV.
+//
+// One SpanRecord covers one stage invocation of one request: where it ran
+// (pod, node), what it paid (queue / startup / execute, in simulated
+// seconds), and the contention it saw (co-residency at launch, the
+// interference multiplier actually applied).  Timestamps are sim-time, so
+// a trace is a pure function of (seed, config): byte-identical at any
+// shard count and across reruns.
+//
+// The ring is per *tenant*, not per shard: a tenant's event stream is
+// already shard-independent (the fleet's core contract), so draining the
+// rings in tenant-index order yields a deterministic merged trace without
+// any cross-shard coordination — and since each shard owns its tenants,
+// recording needs no locks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
+
+namespace janus {
+
+/// One stage invocation.  Fixed width (no strings, no heap) so recording
+/// into the ring is a plain struct copy on the event path.
+struct SpanRecord {
+  std::uint32_t tenant = 0;
+  std::uint32_t request = 0;
+  std::uint16_t stage = 0;
+  std::uint8_t cold = 0;    // paid a full cold start
+  std::uint8_t queued = 0;  // waited for a pod (scale-out limit)
+  std::int32_t pod = -1;
+  std::int32_t node = -1;
+  std::int32_t colocated = 1;  // same-function busy pods at launch
+  std::int32_t size_mc = 0;    // allocation the sizing policy chose
+  Seconds start_s = 0.0;       // sim-time the invocation entered the platform
+  Seconds queued_s = 0.0;
+  Seconds startup_s = 0.0;
+  Seconds exec_s = 0.0;
+  double interference = 1.0;
+
+  Seconds total_s() const noexcept { return queued_s + startup_s + exec_s; }
+  Seconds end_s() const noexcept { return start_s + total_s(); }
+};
+
+/// Preallocated overwrite-oldest span ring.  record() is allocation-free
+/// and called from the (single-threaded per shard) completion event path;
+/// drops are counted, never silent.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) {
+    require(capacity > 0, "trace ring needs capacity >= 1");
+    spans_.resize(capacity);
+  }
+
+  JANUS_HOT void record(const SpanRecord& span) noexcept {
+    spans_[head_] = span;
+    head_ = head_ + 1 == spans_.size() ? 0 : head_ + 1;
+    if (count_ < spans_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;  // overwrote the oldest retained span
+    }
+  }
+
+  std::size_t capacity() const noexcept { return spans_.size(); }
+  std::size_t size() const noexcept { return count_; }
+  /// Spans overwritten because the ring was full (raise ring_capacity or
+  /// the sampling stride when this is nonzero).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t recorded() const noexcept {
+    return static_cast<std::uint64_t>(count_) + dropped_;
+  }
+
+  /// Appends the retained spans, oldest first, preserving record order.
+  void drain_to(std::vector<SpanRecord>& out) const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t count_ = 0;  // retained spans (<= capacity)
+  std::uint64_t dropped_ = 0;
+};
+
+/// Chrome/Perfetto trace_event JSON ({"traceEvents": [...]}): open it at
+/// ui.perfetto.dev or chrome://tracing.  pid = tenant, tid = stage; each
+/// span emits up to three "X" (complete) events — queue, cold-start or
+/// warm-start, exec — with sim-time timestamps in microseconds.
+std::string trace_to_chrome_json(const std::vector<SpanRecord>& spans);
+
+/// Flat CSV, one row per span, with a fixed header — the analysis-friendly
+/// twin of the Chrome JSON.
+std::string trace_to_csv(const std::vector<SpanRecord>& spans);
+
+}  // namespace janus

@@ -37,6 +37,7 @@
 #include "common/annotations.hpp"
 #include "common/inline_function.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace janus {
 
@@ -76,6 +77,7 @@ class SimEngine {
     const EventNode node{
         t, (next_seq_++ << kSlotBits) | acquire_slot(std::forward<F>(fn))};
     ++size_;
+    JANUS_OBS(obs_, obs_->note_pending(size_));
     if (t < current_end_) {
       // Into the bucket being drained: O(log bucket) sift.  The node's
       // globally-largest seq makes it drain after already-queued peers at
@@ -152,6 +154,12 @@ class SimEngine {
 
   std::size_t pending() const noexcept { return size_; }
   std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Arms the calendar-occupancy gauge (self-profiling pillar); null (the
+  /// default) keeps the hook a single never-taken branch in schedule_at.
+  /// The sink must outlive the engine's run and is written only from the
+  /// thread driving this engine.
+  void set_obs(EngineObs* obs) noexcept { obs_ = obs; }
 
  private:
   /// 16-byte calendar node: time plus (seq << 24 | slot).  seq lives in
@@ -247,6 +255,7 @@ class SimEngine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t size_ = 0;
+  EngineObs* obs_ = nullptr;
 };
 
 }  // namespace janus

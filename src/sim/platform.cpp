@@ -139,6 +139,7 @@ JANUS_HOT void Platform::invoke(int fn_index, Millicores size, Concurrency c,
   const Acquired got = acquire(fn_index, size);
   if (got.pod < 0) {
     // Scale-out limit hit: queue until a pod of this function frees up.
+    JANUS_OBS(obs_, ++obs_->queued);
     // janus-lint: allow(hot-path-growth) saturation slow path — the
     // invocation is about to wait a pod's service time anyway.
     pending_[static_cast<std::size_t>(fn_index)].push_back(
@@ -163,6 +164,8 @@ JANUS_HOT void Platform::start_on_pod(
   outcome.queued_s = queued_s;
   outcome.startup_s = got.startup;
   outcome.cold_start = got.cold;
+  outcome.pod = got.pod;
+  outcome.node = pod.node;
   // Counter already includes this pod (just marked busy), so it is >= 1 —
   // same value the old O(pods) scan produced.
   outcome.colocated =

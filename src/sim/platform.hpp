@@ -24,6 +24,7 @@
 #include "common/types.hpp"
 #include "model/function_model.hpp"
 #include "model/interference.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace janus {
@@ -50,13 +51,19 @@ struct PlatformConfig {
   std::uint64_t seed = 1;
 };
 
-/// Outcome handed to the invocation's completion callback.
+/// Outcome handed to the invocation's completion callback.  Field order
+/// packs pod/node/colocated into what used to be padding: the struct must
+/// stay 48 bytes because it is embedded (with the caller's InvokeFn) in
+/// Platform's completion closure, which sits exactly at the engine's
+/// 128-byte event capture budget.
 struct InvocationOutcome {
   Seconds queued_s = 0.0;     // wait for pod capacity
   Seconds startup_s = 0.0;    // warm specialize or cold start
   Seconds exec_s = 0.0;       // model execution time
-  int colocated = 1;          // same-function busy pods on the node
   double interference = 1.0;  // multiplier actually applied
+  int colocated = 1;          // same-function busy pods on the node
+  int pod = -1;               // pod the invocation ran on
+  int node = -1;              // node hosting that pod
   bool cold_start = false;
 
   Seconds total() const noexcept { return queued_s + startup_s + exec_s; }
@@ -120,6 +127,15 @@ class Platform {
 
   std::uint64_t cold_starts() const noexcept { return cold_starts_; }
   std::uint64_t invocations() const noexcept { return invocations_; }
+
+  /// Current simulated time of the owning engine (spans are reconstructed
+  /// from completion callbacks as now() - outcome.total()).
+  Seconds now() const noexcept { return engine_.now(); }
+
+  /// Arms the observability hooks on this platform's event path; null
+  /// (the default) keeps them a single never-taken branch.  The sink must
+  /// outlive the run and is written only from this platform's shard.
+  void set_obs(ObsCounters* obs) noexcept { obs_ = obs; }
 
  private:
   struct Pod {
@@ -196,6 +212,7 @@ class Platform {
   std::vector<int> peak_busy_per_function_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t invocations_ = 0;
+  ObsCounters* obs_ = nullptr;
 };
 
 }  // namespace janus

@@ -31,6 +31,13 @@ std::map<int, double> totals_by_node;
 JANUS_HOT void* place(void* slot) { return new (slot) int(0); }
 void cold_fill(std::vector<int>& v) { v.push_back(1); }
 
+// Obs-sink accesses are legal in a hot function when wrapped in
+// JANUS_OBS (the guard macro), and unconstrained outside hot regions.
+struct ObsGauge { unsigned long long peak; };
+ObsGauge* obs_gauge = nullptr;
+JANUS_HOT void tick() { JANUS_OBS(obs_gauge, ++obs_gauge->peak); }
+void cold_tick() { ++obs_gauge->peak; }
+
 // Value captures may be scheduled freely; rvalue-ref params (&&) in the
 // argument list are not captures.
 void drive(Engine& engine, std::vector<int>&& batch) {

@@ -1,0 +1,8 @@
+// Fixture: hot-path-obs-guard — one seeded violation (line 7).  The
+// obs-sink declaration at file scope is NOT flagged (only accesses inside
+// a JANUS_HOT body are); the naked increment in pump() is.
+struct ObsGauge { unsigned long long queued; };
+ObsGauge* obs_sink = nullptr;
+JANUS_HOT void pump() {
+  ++obs_sink->queued;
+}

@@ -1,0 +1,6 @@
+// Fixture: hot-path-obs-guard with a justified suppression — lints clean.
+struct ObsGauge { unsigned long long queued; };
+ObsGauge* obs_sink = nullptr;
+JANUS_HOT void pump() {
+  ++obs_sink->queued;  // janus-lint: allow(hot-path-obs-guard) fixture: exercising the suppression path
+}

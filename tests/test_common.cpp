@@ -1,12 +1,19 @@
-// Tests for src/common: RNG, thread pool, CSV, types.
+// Tests for src/common: RNG, thread pool, CSV, types, logging.
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <thread>
+#include <vector>
 
 #include "common/csv.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -300,6 +307,93 @@ TEST(Csv, CarriageReturnFieldRoundTrips) {
   ASSERT_EQ(back.rows.size(), 2u);
   EXPECT_EQ(back.rows[0][0], "a\rb");
   EXPECT_EQ(back.rows[1][0], "c\r\nd");
+}
+
+// ------------------------------------------------------------------ log --
+TEST(Log, LevelFromStringParsesAllLevels) {
+  EXPECT_EQ(log_level_from_string("debug"), LogLevel::Debug);
+  EXPECT_EQ(log_level_from_string("info"), LogLevel::Info);
+  EXPECT_EQ(log_level_from_string("warn"), LogLevel::Warn);
+  EXPECT_EQ(log_level_from_string("error"), LogLevel::Error);
+  EXPECT_EQ(log_level_from_string("off"), LogLevel::Off);
+  EXPECT_THROW(log_level_from_string("verbose"), std::invalid_argument);
+  EXPECT_THROW(log_level_from_string(""), std::invalid_argument);
+}
+
+TEST(Log, BelowThresholdIsSuppressed) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Off);
+  // Must not crash or emit; Off filters everything including error.
+  log_error("suppressed line, should never appear");
+  set_log_level(saved);
+}
+
+// Regression test for the interleaving hardening: log_message formats the
+// whole "[janus LEVEL] msg\n" line into one buffer and issues a single
+// fwrite under the logger mutex.  Hammer it from many threads with
+// distinctive payloads, capture stderr into a file, and require every
+// captured line to be whole — no spliced prefixes, no torn payloads.
+TEST(Log, ConcurrentWritersNeverInterleaveWithinALine) {
+  const std::string path =
+      testing::TempDir() + "janus_log_interleave_test.txt";
+  std::FILE* capture = std::fopen(path.c_str(), "w+");
+  ASSERT_NE(capture, nullptr);
+  const int saved_fd = dup(fileno(stderr));
+  ASSERT_GE(saved_fd, 0);
+  std::fflush(stderr);
+  ASSERT_GE(dup2(fileno(capture), fileno(stderr)), 0);
+  const LogLevel saved_level = log_level();
+  set_log_level(LogLevel::Info);
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 250;
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      writers.emplace_back([w] {
+        const std::string payload(48, static_cast<char>('a' + w));
+        for (int i = 0; i < kLines; ++i) {
+          log_info("writer=", w, " line=", i, " payload=", payload);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+  }
+
+  set_log_level(saved_level);
+  std::fflush(stderr);
+  ASSERT_GE(dup2(saved_fd, fileno(stderr)), 0);
+  close(saved_fd);
+  std::fclose(capture);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  int total = 0;
+  std::vector<int> per_writer(kThreads, 0);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++total;
+    // Exact shape: "[janus INFO] writer=W line=N payload=XXX...".
+    std::istringstream fields(line);
+    std::string tag, level, writer_kv, line_kv, payload_kv;
+    fields >> tag >> level >> writer_kv >> line_kv >> payload_kv;
+    ASSERT_EQ(tag, "[janus") << "torn line: " << line;
+    ASSERT_EQ(level, "INFO]") << "torn line: " << line;
+    ASSERT_EQ(writer_kv.rfind("writer=", 0), 0u) << "torn line: " << line;
+    const int w = std::stoi(writer_kv.substr(7));
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kThreads);
+    ++per_writer[w];
+    ASSERT_EQ(payload_kv,
+              "payload=" + std::string(48, static_cast<char>('a' + w)))
+        << "torn line: " << line;
+    std::string extra;
+    ASSERT_FALSE(fields >> extra) << "trailing garbage: " << line;
+  }
+  EXPECT_EQ(total, kThreads * kLines);
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(per_writer[w], kLines);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -135,6 +135,20 @@ class TestHotPathStdFunction(FixtureCase):
                           "src/sim/fixture.cpp")
 
 
+class TestHotPathObsGuard(FixtureCase):
+    def test_violation(self):
+        self.assert_finding(
+            "hot_obs.cpp", "src/sim/fixture.cpp",
+            ["src/sim/fixture.cpp:7: [hot-path-obs-guard] obs-sink access "
+             "'obs_sink' in JANUS_HOT function 'pump' is not wrapped in "
+             "JANUS_OBS(sink, expr); the guard macro is what keeps the "
+             "observability-off event path to a single null-test branch "
+             "(src/obs/obs.hpp)"])
+
+    def test_suppressed(self):
+        self.assert_clean("hot_obs_allowed.cpp", "src/sim/fixture.cpp")
+
+
 class TestMutableHintsBundle(FixtureCase):
     def test_violation(self):
         self.assert_finding(
@@ -206,8 +220,8 @@ class TestDriver(unittest.TestCase):
         self.assertEqual(listed, {
             "bad-suppression", "determinism-rand", "determinism-time",
             "determinism-unordered", "hot-path-alloc", "hot-path-growth",
-            "hot-path-std-function", "mutable-hints-bundle",
-            "ref-capture-event"})
+            "hot-path-obs-guard", "hot-path-std-function",
+            "mutable-hints-bundle", "ref-capture-event"})
 
     def test_whole_tree_is_clean(self):
         # The gate ci/lint.sh enforces, as a CTest suite: src/ lints

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/log.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "fleet/fleet.hpp"
@@ -93,7 +94,21 @@ int usage(std::FILE* out = stderr) {
       "  --autoscale     grow/shrink the node pool from utilization at\n"
       "                  each epoch barrier (scale-out pays one epoch of\n"
       "                  latency; scale-in repacks displaced pods)\n"
+      "  --trace-out P   record request spans and write them to P:\n"
+      "                  .json = Chrome/Perfetto trace_event format (open\n"
+      "                  at ui.perfetto.dev), .csv = flat rows.  Sim-time\n"
+      "                  timestamps: byte-identical at any shard count\n"
+      "  --obs-sample N  record every Nth request (by request index;\n"
+      "                  default 1 = all); needs --trace-out\n"
+      "  --obs-timeline P\n"
+      "                  write the per-(epoch, tenant, stage) control-plane\n"
+      "                  timeline to P (.json or .csv); rows only appear\n"
+      "                  when --epoch-s is finite\n"
       "  --json          machine-readable result on stdout\n"
+      "\n"
+      "global flags:\n"
+      "  --log-level L   stderr diagnostics: debug|info|warn|error|off\n"
+      "                  (default warn)\n"
       "\n"
       "`janus_cli help` (or --help) prints this text.\n",
       fleet_policy_list().c_str());
@@ -120,6 +135,10 @@ struct Flags {
   int node_mc = 52000;
   double epoch_s = 0.0;  // 0 = not set -> kNoEpochs (plan once)
   bool autoscale = false;
+  std::string trace_out;     // span artifact path; empty = tracing off
+  std::string obs_timeline;  // timeline artifact path; empty = off
+  int obs_sample = 1;
+  std::string log_level;  // empty = leave the library default (warn)
   std::vector<std::string> seen;
 };
 
@@ -169,6 +188,20 @@ bool parse_flags(int argc, char** argv, int first, Flags& flags,
       flags.autoscale = true;
     } else if (arg == "--trace") {
       flags.trace = value("--trace");
+    } else if (arg == "--trace-out") {
+      flags.trace_out = value("--trace-out");
+    } else if (arg == "--obs-timeline") {
+      flags.obs_timeline = value("--obs-timeline");
+    } else if (arg == "--obs-sample") {
+      flags.obs_sample = parse_int(value("--obs-sample"), "--obs-sample");
+      if (flags.obs_sample < 1) {
+        throw_invalid("--obs-sample expects an integer >= 1");
+      }
+    } else if (arg == "--log-level") {
+      flags.log_level = value("--log-level");
+      // Validate and apply immediately: the level governs diagnostics from
+      // everything that runs after parsing, for every command.
+      set_log_level(log_level_from_string(flags.log_level));
     } else if (arg == "--policy") {
       flags.policy = value("--policy");
     } else if (arg == "--contention-alpha") {
@@ -248,6 +281,30 @@ void write_text(const std::string& path, const std::string& text) {
   if (!out) throw_invalid("cannot open for write: " + path);
   out << text;
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// True when `path` ends in `suffix` (artifact format dispatch).
+bool ends_with(const std::string& path, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return path.size() >= len &&
+         path.compare(path.size() - len, len, suffix) == 0;
+}
+
+/// Writes an observability artifact, choosing the format by extension.
+/// The confirmation goes to *stderr*: with --json the artifact write must
+/// not corrupt the single machine-readable object on stdout.
+void write_artifact(const std::string& path, const char* what,
+                    const std::string& json, const std::string& csv) {
+  if (!ends_with(path, ".json") && !ends_with(path, ".csv")) {
+    throw_invalid(std::string(what) +
+                  " path must end in .json or .csv: " + path);
+  }
+  const std::string& text = ends_with(path, ".json") ? json : csv;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw_invalid("cannot open for write: " + path);
+  out << text;
+  std::fprintf(stderr, "janus_cli: wrote %s (%zu bytes)\n", path.c_str(),
+               text.size());
 }
 
 int cmd_profile(const std::string& name, const std::string& dir) {
@@ -468,7 +525,24 @@ int cmd_fleet(const Flags& flags) {
   config.cluster.node_capacity_mc = flags.node_mc;
   if (flags.epoch_s > 0.0) config.epoch_s = flags.epoch_s;
   config.autoscale.enabled = flags.autoscale;
+  if (flags.obs_sample != 1 && flags.trace_out.empty()) {
+    throw_invalid("--obs-sample only applies to span tracing; add "
+                  "--trace-out <path>");
+  }
+  config.obs.trace = !flags.trace_out.empty();
+  config.obs.timeline = !flags.obs_timeline.empty();
+  config.obs.sample_every = flags.obs_sample;
   const FleetResult result = run_fleet(config);
+  if (!flags.trace_out.empty()) {
+    write_artifact(flags.trace_out, "--trace-out",
+                   trace_to_chrome_json(result.obs.spans),
+                   trace_to_csv(result.obs.spans));
+  }
+  if (!flags.obs_timeline.empty()) {
+    write_artifact(flags.obs_timeline, "--obs-timeline",
+                   timeline_to_json(result.obs.timeline),
+                   timeline_to_csv(result.obs.timeline));
+  }
   if (flags.json) {
     std::printf("%s", result.to_json().c_str());
     return 0;
@@ -516,21 +590,23 @@ int main(int argc, char** argv) {
     if (!parse_flags(argc, argv, 2, flags, pos)) return usage();
     if (flags.help) return usage(stdout);
     if (cmd == "profile" && pos.size() == 2) {
-      if (!flags_allowed(flags, {})) return usage();
+      if (!flags_allowed(flags, {"--log-level"})) return usage();
       return cmd_profile(pos[0], pos[1]);
     }
     if (cmd == "synthesize" && pos.size() >= 2) {
-      if (!flags_allowed(flags, {})) return usage();
+      if (!flags_allowed(flags, {"--log-level"})) return usage();
       const double weight = pos.size() > 2 ? std::stod(pos[2]) : 1.0;
       const Concurrency conc = pos.size() > 3 ? std::stoi(pos[3]) : 1;
       return cmd_synthesize(pos[0], pos[1], weight, conc);
     }
     if (cmd == "lookup" && pos.size() == 2) {
-      if (!flags_allowed(flags, {})) return usage();
+      if (!flags_allowed(flags, {"--log-level"})) return usage();
       return cmd_lookup(pos[0], std::stoll(pos[1]));
     }
     if (cmd == "serve" && pos.size() >= 1) {
-      if (!flags_allowed(flags, {"--seed", "--json"})) return usage();
+      if (!flags_allowed(flags, {"--seed", "--json", "--log-level"})) {
+        return usage();
+      }
       const int requests = pos.size() > 1 ? std::stoi(pos[1]) : 500;
       const Seconds slo = pos.size() > 2 ? std::stod(pos[2]) : 0.0;
       return cmd_serve(pos[0], requests, slo, flags);
@@ -540,7 +616,9 @@ int main(int argc, char** argv) {
                                  "--seed", "--rate", "--arrivals", "--trace",
                                  "--nodes", "--node-mc", "--epoch-s",
                                  "--autoscale", "--policy",
-                                 "--contention-alpha", "--json"})) {
+                                 "--contention-alpha", "--json",
+                                 "--trace-out", "--obs-timeline",
+                                 "--obs-sample", "--log-level"})) {
         return usage();
       }
       return cmd_fleet(flags);

@@ -45,6 +45,12 @@ hot-path-growth         push_back/emplace_back/resize/reserve/insert/...
                         justified suppression).
 hot-path-std-function   std::function inside a JANUS_HOT function (its
                         capture heap-allocates; use InlineFunction).
+hot-path-obs-guard      an obs-sink access (any ``obs_``-prefixed
+                        identifier) inside a JANUS_HOT function that is not
+                        wrapped in JANUS_OBS(sink, expr): the macro is what
+                        guarantees the disabled path costs one null-test
+                        branch, so naked sink touches on the event path are
+                        banned.
 mutable-hints-bundle    non-const HintsBundle outside src/hints/: bundles
                         are synthesized once and shared read-only across
                         tenants and shards.
@@ -124,6 +130,8 @@ CHECKS = {
         "container growth call in a JANUS_HOT function",
     "hot-path-std-function":
         "std::function in a JANUS_HOT function",
+    "hot-path-obs-guard":
+        "unguarded obs-sink access in a JANUS_HOT function",
     "mutable-hints-bundle":
         "non-const HintsBundle outside its producer",
     "ref-capture-event":
@@ -484,6 +492,17 @@ def check_file(path, rel, tokens, order_sensitive, hints_producer):
                 j += 1
 
     # ---- hot-path checks (need region context) --------------------------
+    # Token ranges covered by a JANUS_OBS(...) invocation: obs-sink
+    # accesses inside a hot region are legal only within one of these.
+    obs_guarded = []
+    for i, tok in enumerate(tokens):
+        if (tok.kind == "id" and tok.text == "JANUS_OBS" and
+                i + 1 < n and tokens[i + 1].text == "("):
+            obs_guarded.append((i, matching(tokens, i + 1, "(", ")")))
+
+    def is_obs_guarded(idx):
+        return any(start <= idx < end for start, end in obs_guarded)
+
     for region in regions:
         for i in range(region.start, region.end):
             tok = tokens[i]
@@ -525,6 +544,14 @@ def check_file(path, rel, tokens, order_sensitive, hints_producer):
                     "heap-allocates its capture; use "
                     "janus::InlineFunction (common/inline_function.hpp)"
                     % region.name))
+            elif text.startswith("obs_") and not is_obs_guarded(i):
+                findings.append(Finding(
+                    rel, tok.line, "hot-path-obs-guard",
+                    "obs-sink access '%s' in JANUS_HOT function '%s' is "
+                    "not wrapped in JANUS_OBS(sink, expr); the guard "
+                    "macro is what keeps the observability-off event "
+                    "path to a single null-test branch (src/obs/obs.hpp)"
+                    % (text, region.name)))
     return findings
 
 
