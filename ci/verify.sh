@@ -14,7 +14,8 @@
 #     so the concurrency-facing suites (fleet/common/sim) are rebuilt under
 #     -fsanitize=thread in build-thread/ and rerun.  TSAN=0 skips.
 #   * Bench report — the fast benchmarks with committed baselines
-#     (fleet_scale, engine, autoscale, policy_mix) run once and
+#     (fleet_scale, engine, autoscale, policy_mix, obs_overhead, chaos)
+#     run once and
 #     tools/compare_bench.py diffs their wall times against
 #     bench/baselines/, flagging >20% regressions as warnings and failing
 #     the build past BENCH_FATAL_PCT=35 (far beyond scheduler noise), on a
@@ -77,11 +78,11 @@ if [[ -z "$SANITIZE" ]]; then
     BUILD_DIR="$BUILD_DIR" ci/lint.sh
   fi
   if [[ "${TSAN:-1}" != "0" ]]; then
-    echo "== verify: ThreadSanitizer pass (fleet/common/sim/obs suites) =="
+    echo "== verify: ThreadSanitizer pass (fleet/common/sim/obs/chaos suites) =="
     cmake -B build-thread -S . -DJANUS_SANITIZE=thread
     cmake --build build-thread -j --target test_fleet test_common test_sim \
-      test_obs
-    (cd build-thread && ctest -R 'test_(fleet|common|sim|obs)' \
+      test_obs test_chaos
+    (cd build-thread && ctest -R 'test_(fleet|common|sim|obs|chaos)' \
        --output-on-failure -j)
   fi
   if [[ "${BENCH:-1}" != "0" ]]; then
@@ -97,7 +98,7 @@ if [[ -z "$SANITIZE" ]]; then
     # never satisfy the comparison, and a bench that fails, vanishes, or
     # is silently dropped from this list must fail the build — hence
     # --require and no '|| true'.
-    BENCH_SET=(fleet_scale engine autoscale policy_mix obs_overhead)
+    BENCH_SET=(fleet_scale engine autoscale policy_mix obs_overhead chaos)
     rm -rf "$BUILD_DIR/bench-report"
     mkdir -p "$BUILD_DIR/bench-report"
     "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \

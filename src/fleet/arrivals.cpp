@@ -1,6 +1,7 @@
 #include "fleet/arrivals.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace janus {
 
@@ -50,6 +51,11 @@ void validate_common(const ArrivalSpec& spec) {
   // A trace defines its own rate; everything else needs the knob.
   if (spec.kind != ArrivalKind::Trace) {
     require(spec.rate > 0.0, "arrival rate must be > 0");
+  }
+  require(spec.flash_k > 0.0, "flash multiplier must be > 0");
+  if (spec.has_flash()) {
+    require(spec.flash_t0_s >= 0.0 && spec.flash_t1_s > spec.flash_t0_s,
+            "flash window must satisfy 0 <= t0 < t1");
   }
 }
 
@@ -161,21 +167,77 @@ class TraceArrivals final : public ArrivalProcess {
   std::size_t cursor_ = 0;
 };
 
+/// Flash-crowd window: a deterministic time warp around any base process.
+///
+/// Warped time u(t) runs K times faster than real time inside
+/// [t0, t1) and at unit speed outside, so the base process — asked for
+/// its next arrival in warped time — fires K times more often inside the
+/// window.  The warp is strictly increasing (K > 0), so the arrival
+/// sequence stays strictly monotone, and it composes with every kind:
+/// a Poisson base yields exactly rate x K inside the window, MMPP keeps
+/// its burst structure, a trace replays K times faster.
+class FlashArrivals final : public ArrivalProcess {
+ public:
+  FlashArrivals(std::unique_ptr<ArrivalProcess> base, Seconds t0, Seconds t1,
+                double k)
+      : base_(std::move(base)), t0_(t0), t1_(t1), k_(k) {}
+
+  ArrivalKind kind() const noexcept override { return base_->kind(); }
+
+  Seconds next(Seconds now, Rng& rng) override {
+    const Seconds t = unwarp(base_->next(warp(now), rng));
+    // Rounding through warp/unwarp can collapse a sub-ulp gap; nudge so
+    // the sequence stays strictly monotone (deterministic — no draw).
+    if (t <= now) {
+      return std::nextafter(now, std::numeric_limits<Seconds>::infinity());
+    }
+    return t;
+  }
+
+ private:
+  Seconds warp(Seconds t) const {
+    if (t <= t0_) return t;
+    if (t < t1_) return t0_ + (t - t0_) * k_;
+    return t + (t1_ - t0_) * (k_ - 1.0);
+  }
+  Seconds unwarp(Seconds u) const {
+    if (u <= t0_) return u;
+    const Seconds u1 = t0_ + (t1_ - t0_) * k_;  // warp(t1)
+    if (u < u1) return t0_ + (u - t0_) / k_;
+    return u - (t1_ - t0_) * (k_ - 1.0);
+  }
+
+  std::unique_ptr<ArrivalProcess> base_;
+  Seconds t0_;
+  Seconds t1_;
+  double k_;
+};
+
 }  // namespace
 
 std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec) {
   validate_common(spec);
+  std::unique_ptr<ArrivalProcess> base;
   switch (spec.kind) {
     case ArrivalKind::Poisson:
-      return std::make_unique<PoissonArrivals>(spec);
+      base = std::make_unique<PoissonArrivals>(spec);
+      break;
     case ArrivalKind::Mmpp:
-      return std::make_unique<MmppArrivals>(spec);
+      base = std::make_unique<MmppArrivals>(spec);
+      break;
     case ArrivalKind::Diurnal:
-      return std::make_unique<DiurnalArrivals>(spec);
+      base = std::make_unique<DiurnalArrivals>(spec);
+      break;
     case ArrivalKind::Trace:
-      return std::make_unique<TraceArrivals>(spec);
+      base = std::make_unique<TraceArrivals>(spec);
+      break;
   }
-  throw_invalid("unknown arrival kind");
+  if (base == nullptr) throw_invalid("unknown arrival kind");
+  if (spec.has_flash()) {
+    return std::make_unique<FlashArrivals>(std::move(base), spec.flash_t0_s,
+                                           spec.flash_t1_s, spec.flash_k);
+  }
+  return base;
 }
 
 }  // namespace janus

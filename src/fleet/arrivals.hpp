@@ -59,10 +59,26 @@ struct ArrivalSpec {
   /// > 0 (arrival sequences are strictly monotone); `rate` is ignored —
   /// the trace defines its own rate.
   std::vector<Seconds> trace_gaps{};
+  // --- Flash crowd (composable with every kind) ---
+  /// Rate multiplier over the scheduled window [flash_t0_s, flash_t1_s):
+  /// 1 (the default) disables the window.  Implemented as a deterministic
+  /// time warp around the base process, so the window composes with
+  /// Poisson/MMPP/Diurnal/Trace alike and inside it the instantaneous
+  /// rate is exactly K x the base process's.  Must be > 0 (K < 1 models a
+  /// brown-out instead of a crowd); when != 1 the window must satisfy
+  /// 0 <= flash_t0_s < flash_t1_s.
+  double flash_k = 1.0;
+  Seconds flash_t0_s = 0.0;
+  Seconds flash_t1_s = 0.0;
 
   /// Long-run mean arrival rate of the process (used for capacity
-  /// planning, e.g. the fleet's pod estimates).
+  /// planning, e.g. the fleet's pod estimates).  Deliberately excludes the
+  /// flash window: a flash crowd is a transient the capacity plan does not
+  /// see coming — that blindness is what the chaos benches measure.
   double mean_rate() const;
+
+  /// True when a flash window is armed (flash_k != 1).
+  bool has_flash() const noexcept { return flash_k != 1.0; }
 };
 
 class ArrivalProcess {

@@ -1,0 +1,200 @@
+#include "fleet/chaos.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace janus {
+
+const char* to_string(ChaosFamily family) noexcept {
+  switch (family) {
+    case ChaosFamily::NodeFailure: return "node_failure";
+    case ChaosFamily::Preemption: return "preemption";
+    case ChaosFamily::ColdStorm: return "cold_storm";
+    case ChaosFamily::FlashCrowd: return "flash_crowd";
+  }
+  return "?";
+}
+
+ChaosConfig chaos_config_from_spec(const std::string& spec) {
+  ChaosConfig out;
+  std::stringstream ss(spec);
+  std::string token;
+  bool any = false;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    any = true;
+    if (token == "failures") {
+      out.node_failures = true;
+    } else if (token == "preemption") {
+      out.preemption = true;
+    } else if (token == "storms") {
+      out.cold_storms = true;
+    } else if (token == "flash") {
+      out.flash_crowds = true;
+    } else if (token == "all") {
+      out.node_failures = out.preemption = out.cold_storms =
+          out.flash_crowds = true;
+    } else if (token == "none") {
+      // Explicitly calm (lets scripts pass a variable spec).
+    } else {
+      throw_invalid(
+          "unknown chaos family (expected a comma-separated subset of "
+          "failures, preemption, storms, flash — or all, or none): " +
+          token);
+    }
+  }
+  if (!any) {
+    throw_invalid(
+        "empty chaos spec (expected a comma-separated subset of failures, "
+        "preemption, storms, flash — or all, or none)");
+  }
+  return out;
+}
+
+namespace {
+
+/// Stream keys for the chaos rng derivations: distinct constants per use
+/// so barrier draws, flash windows, and tenant workload streams (which mix
+/// the fleet seed differently in fleet.cpp) can never collide.
+constexpr std::uint64_t kBarrierStream = 0xc4a05'5eedULL;
+constexpr std::uint64_t kFlashStream = 0xf1a5'840bULL;
+
+std::uint64_t mix(std::uint64_t root, std::uint64_t stream,
+                  std::uint64_t index) {
+  return SplitMix64(root ^ stream ^
+                    (0x9e3779b97f4a7c15ULL * (index + 1)))
+      .next();
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(ChaosConfig config, std::uint64_t fleet_seed,
+                         std::size_t tenants)
+    : config_(config),
+      root_(SplitMix64(fleet_seed ^ (config.seed * 0xda942042e4dd58b5ULL))
+                .next()),
+      tenants_(tenants) {
+  require(tenants >= 1, "chaos engine needs >= 1 tenant");
+  require(config.node_fail_per_epoch >= 0.0 &&
+              config.node_fail_per_epoch <= 1.0,
+          "node failure probability must be in [0, 1]");
+  require(config.min_nodes >= 0, "chaos min_nodes must be >= 0");
+  require(config.preempt_per_epoch >= 0.0 && config.preempt_per_epoch <= 1.0,
+          "preemption probability must be in [0, 1]");
+  require(config.preempt_fraction > 0.0 && config.preempt_fraction <= 1.0,
+          "preemption fraction must be in (0, 1]");
+  require(config.storm_per_epoch >= 0.0 && config.storm_per_epoch <= 1.0,
+          "storm probability must be in [0, 1]");
+  require(config.storm_multiplier > 0.0, "storm multiplier must be > 0");
+  require(config.storm_epochs >= 1, "storms must last >= 1 epoch");
+  require(config.flash_k > 0.0, "flash multiplier must be > 0");
+  require(config.flash_start_s >= 0.0 && config.flash_spread_s >= 0.0,
+          "flash window start/spread must be >= 0");
+  require(config.flash_window_s > 0.0, "flash window length must be > 0");
+}
+
+ChaosEngine::BarrierPlan ChaosEngine::plan_barrier(int epoch,
+                                                   int cluster_nodes) {
+  BarrierPlan plan;
+  // One rng per barrier, keyed on (root, epoch) alone, consumed in a fixed
+  // order regardless of which families are armed — so arming one family
+  // never shifts another family's schedule.
+  Rng rng(mix(root_, kBarrierStream, static_cast<std::uint64_t>(epoch)));
+  const double u_fail = rng.uniform();
+  const double u_victim = rng.uniform();
+  if (config_.node_failures && u_fail < config_.node_fail_per_epoch &&
+      cluster_nodes > config_.min_nodes) {
+    plan.failed_nodes.push_back(static_cast<int>(
+        u_victim * static_cast<double>(cluster_nodes)) % cluster_nodes);
+  }
+  for (std::size_t t = 0; t < tenants_; ++t) {
+    const double u = rng.uniform();
+    if (config_.preemption && u < config_.preempt_per_epoch) {
+      plan.preempt_tenants.push_back(t);
+    }
+  }
+  const double u_storm = rng.uniform();
+  if (config_.cold_storms) {
+    if (storm_remaining_ == 0 && u_storm < config_.storm_per_epoch) {
+      storm_remaining_ = config_.storm_epochs;
+      plan.storm_started = true;
+    }
+    if (storm_remaining_ > 0) {
+      plan.storm_multiplier = config_.storm_multiplier;
+      --storm_remaining_;
+    }
+  }
+  return plan;
+}
+
+ArrivalSpec ChaosEngine::apply_flash(std::size_t tenant, ArrivalSpec spec) {
+  if (!config_.flash_crowds) return spec;
+  // Per-tenant window, keyed on (root, tenant) alone: adding tenants never
+  // moves an existing tenant's crowd.
+  Rng rng(mix(root_, kFlashStream, tenant));
+  const Seconds t0 = config_.flash_start_s +
+                     rng.uniform() * config_.flash_spread_s;
+  const Seconds t1 = t0 + config_.flash_window_s;
+  spec.flash_k = config_.flash_k;
+  spec.flash_t0_s = t0;
+  spec.flash_t1_s = t1;
+  ChaosEvent event;
+  event.family = ChaosFamily::FlashCrowd;
+  event.epoch = -1;
+  event.sim_time = t0;
+  event.tenant = static_cast<int>(tenant);
+  event.magnitude = config_.flash_k;
+  event.until_s = t1;
+  log_.push_back(event);
+  ++stats_.flash_windows;
+  log_debug("chaos: tenant ", tenant, " flash crowd x", config_.flash_k,
+            " over [", t0, ", ", t1, ")s");
+  return spec;
+}
+
+void ChaosEngine::record_failure(int epoch, Seconds sim_time, int node,
+                                 int displaced, int stranded) {
+  ChaosEvent event;
+  event.family = ChaosFamily::NodeFailure;
+  event.epoch = epoch;
+  event.sim_time = sim_time;
+  event.node = node;
+  event.pods = displaced;
+  event.stranded = stranded;
+  log_.push_back(event);
+  ++stats_.node_failures;
+  stats_.displaced_pods += displaced;
+  log_debug("chaos: epoch ", epoch, " node ", node, " failed (", displaced,
+            " pods re-packed, ", stranded, " stranded)");
+}
+
+void ChaosEngine::record_preemption(int epoch, Seconds sim_time, int tenant,
+                                    int pods) {
+  ChaosEvent event;
+  event.family = ChaosFamily::Preemption;
+  event.epoch = epoch;
+  event.sim_time = sim_time;
+  event.tenant = tenant;
+  event.pods = pods;
+  log_.push_back(event);
+  ++stats_.preemption_bursts;
+  stats_.preempted_pods += pods;
+  log_debug("chaos: epoch ", epoch, " tenant ", tenant, " preempted ", pods,
+            " busy pods");
+}
+
+void ChaosEngine::record_storm(int epoch, Seconds sim_time, Seconds until_s) {
+  ChaosEvent event;
+  event.family = ChaosFamily::ColdStorm;
+  event.epoch = epoch;
+  event.sim_time = sim_time;
+  event.magnitude = config_.storm_multiplier;
+  event.until_s = until_s;
+  log_.push_back(event);
+  ++stats_.storms;
+  log_debug("chaos: epoch ", epoch, " cold-start storm x",
+            config_.storm_multiplier, " until ", until_s, "s");
+}
+
+}  // namespace janus

@@ -26,13 +26,23 @@ Millicores ClusterCapacity::used_mc(int node) const {
 }
 
 double ClusterCapacity::utilization() const {
+  // Every node failed: nothing is allocatable, report 0 rather than 0/0.
+  if (used_.empty()) return 0.0;
   double total = 0.0;
   for (Millicores u : used_) total += static_cast<double>(u);
   return total / (static_cast<double>(config_.node_capacity_mc) *
                   static_cast<double>(used_.size()));
 }
 
-void ClusterCapacity::pack_pods(Group& group, int count) {
+int ClusterCapacity::pack_pods(Group& group, int count) {
+  if (count > 0 && used_.empty()) {
+    // No node survives (chaos can fail the last one): the pods are
+    // stranded — counted and dropped, never an assert.  The overcommit
+    // fallback below indexes used_[0], so this must be handled first.
+    stranded_ += count;
+    log_warn("cluster: ", count, " pods stranded (no nodes left)");
+    return 0;
+  }
   const Millicores pod_mc = group.pod_mc;
   // This group's pods per node, from its current placement.
   std::vector<int> per_node(used_.size(), 0);
@@ -66,6 +76,7 @@ void ClusterCapacity::pack_pods(Group& group, int count) {
     ++per_node[static_cast<std::size_t>(best)];
     group.nodes.push_back(best);
   }
+  return count;
 }
 
 void ClusterCapacity::release_pods(Group& group, int count) {
@@ -142,15 +153,9 @@ void ClusterCapacity::resize_group(int group, int count) {
   }
 }
 
-int ClusterCapacity::remove_one_node() {
-  // Victim: the emptiest node, ties to the highest index (so renumbering
-  // disturbs as few assignments as possible).
-  int victim = 0;
-  for (std::size_t n = 1; n < used_.size(); ++n) {
-    if (used_[n] <= used_[static_cast<std::size_t>(victim)]) {
-      victim = static_cast<int>(n);
-    }
-  }
+ClusterCapacity::RemoveOutcome ClusterCapacity::fail_node(int victim) {
+  require(victim >= 0 && static_cast<std::size_t>(victim) < used_.size(),
+          "node index out of range");
   // Evict the victim's pods, group by group in id order.
   std::vector<int> displaced(groups_.size(), 0);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
@@ -172,13 +177,31 @@ int ClusterCapacity::remove_one_node() {
     }
   }
   // Re-pack the displaced pods, groups in id order — the deterministic
-  // scale-in repacking.
-  int total = 0;
+  // repacking shared by scale-in and chaos node failure.  pack_pods
+  // strands what it cannot place (zero nodes left).
+  RemoveOutcome out;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    if (displaced[g] > 0) pack_pods(groups_[g], displaced[g]);
-    total += displaced[g];
+    if (displaced[g] == 0) continue;
+    const int placed = pack_pods(groups_[g], displaced[g]);
+    out.displaced += placed;
+    out.stranded += displaced[g] - placed;
   }
-  return total;
+  return out;
+}
+
+int ClusterCapacity::remove_one_node() {
+  // Victim: the emptiest node, ties to the highest index (so renumbering
+  // disturbs as few assignments as possible).
+  int victim = 0;
+  for (std::size_t n = 1; n < used_.size(); ++n) {
+    if (used_[n] <= used_[static_cast<std::size_t>(victim)]) {
+      victim = static_cast<int>(n);
+    }
+  }
+  // Scale-in never removes the last node (autoscale min_nodes >= 1), so
+  // the displaced pods always re-pack; stranding is a chaos-only outcome.
+  const RemoveOutcome out = fail_node(victim);
+  return out.displaced + out.stranded;
 }
 
 ClusterCapacity::ScaleEvent ClusterCapacity::autoscale_step(

@@ -62,10 +62,15 @@ class ClusterCapacity {
     return config_.node_capacity_mc;
   }
   Millicores used_mc(int node) const;
-  /// Total allocated / total capacity (can exceed 1 when overcommitted).
+  /// Total allocated / total capacity (can exceed 1 when overcommitted;
+  /// defined as 0 when every node is gone).
   double utilization() const;
   /// Pods placed past a node's capacity so far (cumulative event count).
   int overcommitted_pods() const noexcept { return overcommitted_; }
+  /// Pods that could not be placed anywhere (no node left) so far — the
+  /// graceful degradation counter for node-failure chaos; such pods are
+  /// dropped from their group, never an assert.
+  int stranded_pods() const noexcept { return stranded_; }
 
   /// Places `count` pods of a new group (one tenant function), each of
   /// `pod_mc` millicores, and returns the group id.  Each pod goes to the
@@ -110,6 +115,22 @@ class ClusterCapacity {
   /// index; displaced groups re-pack in group-id order).
   ScaleEvent autoscale_step(const AutoscaleConfig& cfg);
 
+  /// What one node removal did to the pods it hosted.
+  struct RemoveOutcome {
+    int displaced = 0;  // pods evicted and re-packed on surviving nodes
+    int stranded = 0;   // pods dropped because no node could take them
+  };
+
+  /// Removes node `victim` outright (chaos node failure): evicts its pods
+  /// group by group in id order, renumbers the surviving assignments, and
+  /// re-packs the displaced pods with the standard packing — also in
+  /// group-id order, so the outcome is a pure function of the call
+  /// sequence.  Removing a node that hosts only zero-pod groups (or no
+  /// groups) is a plain retirement.  When no node survives, the evicted
+  /// pods are stranded (counted, dropped from their groups) rather than
+  /// asserting.
+  RemoveOutcome fail_node(int victim);
+
   /// Mean same-group co-residency of a placement: the average, over pods,
   /// of how many of the group's pods share that pod's node.  An empty
   /// placement has no pods co-resident with anything: 0.
@@ -121,11 +142,15 @@ class ClusterCapacity {
     std::vector<int> nodes;  // node index per pod
   };
 
-  /// Packs `count` more pods of `group` (the add_group / grow rule).
-  void pack_pods(Group& group, int count);
+  /// Packs up to `count` more pods of `group` (the add_group / grow rule);
+  /// returns how many were actually placed.  With zero nodes left nothing
+  /// can be placed: the shortfall is counted in stranded_ and the group
+  /// simply stays smaller — degraded capacity, not a crash.
+  int pack_pods(Group& group, int count);
   /// Releases `count` pods of `group`, thinnest nodes first.
   void release_pods(Group& group, int count);
-  /// Scales in one node; returns how many pods it displaced (re-packed).
+  /// Scales in one node (emptiest, ties to the highest index); returns how
+  /// many pods it displaced (re-packed).
   int remove_one_node();
 
   ClusterConfig config_;
@@ -134,6 +159,7 @@ class ClusterCapacity {
   /// Pending scale-out orders: {steps remaining, node count}.
   std::vector<std::pair<int, int>> orders_;
   int overcommitted_ = 0;
+  int stranded_ = 0;
 };
 
 }  // namespace janus

@@ -42,14 +42,25 @@ void ControlPlane::broadcast(std::size_t tenant) {
   }
 }
 
+ClusterCapacity::RemoveOutcome ControlPlane::inject_node_failure(int node) {
+  const ClusterCapacity::RemoveOutcome out = cluster_.fail_node(node);
+  // Rebroadcast immediately: the failure just concentrated surviving pods,
+  // and the feeds must reflect that even if no reconcile follows (tests
+  // drive this standalone; run_fleet reconciles right after anyway).
+  for (std::size_t t = 0; t < tenants_.size(); ++t) broadcast(t);
+  return out;
+}
+
 void ControlPlane::reconcile(Seconds sim_time,
-                             const std::vector<std::vector<int>>& observed) {
+                             const std::vector<std::vector<int>>& observed,
+                             const EpochChaos& chaos) {
   require(live(), "reconcile needs a finite epoch length");
   require(observed.size() == tenants_.size(),
           "reconcile needs one observation row per tenant");
   EpochSnapshot snap;
   snap.epoch = static_cast<int>(history_.size());
   snap.sim_time = sim_time;
+  snap.chaos = chaos;
   // Merge in tenant-index order — the fixed fold that keeps the packing a
   // pure function of (epoch, fleet seed, tenant set) at any shard count.
   for (std::size_t t = 0; t < tenants_.size(); ++t) {

@@ -44,6 +44,18 @@ struct ControlConfig {
   AutoscaleConfig autoscale{};
 };
 
+/// What chaos injected at one barrier (all zeros / 1.0 when the chaos
+/// engine is off or idle this epoch) — carried on the snapshot so the
+/// audit trail and the obs timeline can attribute disturbances.
+struct EpochChaos {
+  int failed_nodes = 0;
+  int displaced_pods = 0;   // evicted by failures and re-packed
+  int stranded_pods = 0;    // evicted and droppable nowhere
+  int preempted_pods = 0;   // busy pods killed across victim tenants
+  /// Startup multiplier in force for the next epoch (1 = calm).
+  double storm_multiplier = 1.0;
+};
+
 /// One reconciliation barrier's outcome (the deterministic audit trail —
 /// compared bit-for-bit across shard counts by the tests and benches).
 struct EpochSnapshot {
@@ -57,6 +69,7 @@ struct EpochSnapshot {
   int nodes_removed = 0;
   int groups_resized = 0;
   int displaced_pods = 0;
+  EpochChaos chaos{};
 };
 
 /// Per-tenant co-location source, updated by the control plane at each
@@ -102,8 +115,18 @@ class ControlPlane {
   /// `observed[t][s]` is tenant t's stage-s pod demand (peak busy pods
   /// this epoch; clamped to >= 1 — an idle stage still keeps one pod
   /// warm).  Merges in tenant-index order, autoscales, rebroadcasts.
+  /// `chaos` is what the chaos engine injected just before this barrier
+  /// (defaults to calm), recorded on the snapshot.
   void reconcile(Seconds sim_time,
-                 const std::vector<std::vector<int>>& observed);
+                 const std::vector<std::vector<int>>& observed,
+                 const EpochChaos& chaos = {});
+
+  /// Chaos injection: fails cluster node `node` outright (pods evicted,
+  /// re-packed in group-id order, stranded when nothing can take them) and
+  /// rebroadcasts every tenant's post-failure co-residency — so
+  /// contention-aware policies see the crowding the failure created even
+  /// before the next reconcile.  Returns what happened to the node's pods.
+  ClusterCapacity::RemoveOutcome inject_node_failure(int node);
 
   std::size_t tenants() const noexcept { return tenants_.size(); }
   /// Tenant's current mean co-residency across stages (reporting).

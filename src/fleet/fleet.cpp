@@ -69,6 +69,28 @@ std::string FleetResult::to_json() const {
      << ", \"final_nodes\": " << final_nodes
      << ", \"nodes_added\": " << nodes_added
      << ", \"nodes_removed\": " << nodes_removed << "},\n";
+  if (chaos_enabled) {
+    os << "  \"chaos\": {\"node_failures\": " << chaos.node_failures
+       << ", \"displaced_pods\": " << chaos.displaced_pods
+       << ", \"stranded_pods\": " << chaos.stranded_pods
+       << ", \"preemption_bursts\": " << chaos.preemption_bursts
+       << ", \"preempted_pods\": " << chaos.preempted_pods
+       << ", \"requeued_invocations\": " << chaos.requeued_invocations
+       << ", \"storms\": " << chaos.storms
+       << ", \"flash_windows\": " << chaos.flash_windows
+       << ", \"events\": [";
+    for (std::size_t e = 0; e < chaos_log.size(); ++e) {
+      const ChaosEvent& ev = chaos_log[e];
+      os << (e > 0 ? ", " : "") << "{\"family\": \"" << to_string(ev.family)
+         << "\", \"epoch\": " << ev.epoch
+         << ", \"sim_time_s\": " << fmt_double(ev.sim_time)
+         << ", \"tenant\": " << ev.tenant << ", \"node\": " << ev.node
+         << ", \"pods\": " << ev.pods << ", \"stranded\": " << ev.stranded
+         << ", \"magnitude\": " << fmt_double(ev.magnitude)
+         << ", \"until_s\": " << fmt_double(ev.until_s) << "}";
+    }
+    os << "]},\n";
+  }
   os << "  \"obs\": {\"events_executed\": " << obs.events_executed
      << ", \"invocations\": " << obs.counters.invocations
      << ", \"cold_starts\": " << obs.counters.cold_starts
@@ -97,8 +119,21 @@ FleetResult run_fleet(const FleetConfig& config) {
   require(config.hist_max_s > 0.0 && config.hist_bins > 0,
           "fleet histogram layout must be non-degenerate");
   require(config.obs.sample_every >= 1, "obs sampling stride must be >= 1");
+  if (config.chaos.needs_epochs()) {
+    require(config.epoch_s != kNoEpochs,
+            "chaos barrier families (failures, preemption, storms) need a "
+            "finite epoch_s");
+  }
+  // Built only when a family is armed: a calm run never constructs the
+  // engine, so chaos-off takes zero different branches (and stays
+  // bit-identical to builds that predate chaos).
+  std::unique_ptr<ChaosEngine> chaos_eng;
+  if (config.chaos.enabled()) {
+    chaos_eng = std::make_unique<ChaosEngine>(config.chaos, config.seed, n);
+  }
   log_info("fleet: ", n, " tenants on ", config.shards,
-           " shards, epoch_s=", config.epoch_s, ", seed=", config.seed);
+           " shards, epoch_s=", config.epoch_s, ", seed=", config.seed,
+           chaos_eng ? ", chaos on" : "");
 
   // Self-profiling is always on: it is pure cold-path wall-clock
   // bookkeeping (a handful of steady_clock reads per epoch), reported in
@@ -144,6 +179,14 @@ FleetResult run_fleet(const FleetConfig& config) {
                             ? spec.arrivals.mean_rate()
                             : spec.arrivals.rate;
     rc.arrivals = spec.arrivals;
+    if (chaos_eng) {
+      // Flash crowds rewrite the arrival spec at plan time (the runner
+      // pre-schedules the whole open-loop sequence, so the window must
+      // live inside the process).  The pod plan below deliberately keeps
+      // using mean_rate(), which excludes the window: the crowd is a
+      // transient the capacity plan does not see coming.
+      rc.arrivals = chaos_eng->apply_flash(t, rc.arrivals);
+    }
     rc.platform = config.platform;
     rc.colocation_is_default = false;
 
@@ -264,7 +307,57 @@ FleetResult run_fleet(const FleetConfig& config) {
         }
         platforms[t]->reset_peak_busy();
       }
-      control.reconcile(epoch_end, observed);
+      // Chaos injection happens here — all shards paused, observations
+      // already collected — so every injection is a pure function of the
+      // (deterministic) barrier state and the chaos schedule.
+      EpochChaos epoch_chaos;
+      if (chaos_eng) {
+        const int epoch_idx = control.epochs_run();
+        const ChaosEngine::BarrierPlan plan =
+            chaos_eng->plan_barrier(epoch_idx, control.cluster().nodes());
+        for (int node : plan.failed_nodes) {
+          const ClusterCapacity::RemoveOutcome rm =
+              control.inject_node_failure(node);
+          ++epoch_chaos.failed_nodes;
+          epoch_chaos.displaced_pods += rm.displaced;
+          epoch_chaos.stranded_pods += rm.stranded;
+          chaos_eng->record_failure(epoch_idx, epoch_end, node, rm.displaced,
+                                    rm.stranded);
+        }
+        for (std::size_t t : plan.preempt_tenants) {
+          int killed = 0;
+          const std::size_t stages =
+              setups[t].workload.chain_models().size();
+          for (std::size_t s = 0; s < stages; ++s) {
+            const int busy = platforms[t]->busy_pods_for(static_cast<int>(s));
+            const int want = static_cast<int>(
+                std::ceil(config.chaos.preempt_fraction *
+                          static_cast<double>(busy)));
+            killed +=
+                platforms[t]->preempt_busy(static_cast<int>(s), want);
+          }
+          if (killed > 0) {
+            chaos_eng->record_preemption(epoch_idx, epoch_end,
+                                         static_cast<int>(t), killed);
+          }
+          epoch_chaos.preempted_pods += killed;
+        }
+        epoch_chaos.storm_multiplier = plan.storm_multiplier;
+        if (config.chaos.cold_storms) {
+          // x1.0 when calm — IEEE-exact, so arming storms without a storm
+          // this epoch perturbs nothing.
+          for (auto& platform : platforms) {
+            platform->set_startup_multiplier(plan.storm_multiplier);
+          }
+          if (plan.storm_started) {
+            chaos_eng->record_storm(
+                epoch_idx, epoch_end,
+                epoch_end + static_cast<double>(config.chaos.storm_epochs) *
+                                control.epoch_s());
+          }
+        }
+      }
+      control.reconcile(epoch_end, observed, epoch_chaos);
       if (config.obs.timeline) {
         // One row per (tenant, stage), in tenant-index order, reading the
         // *post-reconcile* packing — all simulated state, so the timeline
@@ -298,6 +391,10 @@ FleetResult run_fleet(const FleetConfig& config) {
             row.nodes_removed = snap.nodes_removed;
             row.displaced_pods = snap.displaced_pods;
             row.utilization = snap.utilization;
+            row.chaos_failed_nodes = snap.chaos.failed_nodes;
+            row.chaos_preempted_pods = snap.chaos.preempted_pods;
+            row.chaos_stranded_pods = snap.chaos.stranded_pods;
+            row.chaos_storm_mult = snap.chaos.storm_multiplier;
             timeline.push_back(row);
           }
         }
@@ -368,6 +465,18 @@ FleetResult run_fleet(const FleetConfig& config) {
     }
     out.obs.counters.merge(tenant_counters);
     out.tenants.push_back(std::move(tr));
+  }
+  if (chaos_eng) {
+    out.chaos_enabled = true;
+    // Tenant-order fold, like every other merged tally.
+    for (std::size_t t = 0; t < n; ++t) {
+      chaos_eng->add_requeued(platforms[t]->requeued());
+    }
+    // The cluster's counter is authoritative: it also covers stranding
+    // during post-failure regrowth at reconcile, not just eviction time.
+    chaos_eng->set_stranded_total(cluster.stranded_pods());
+    out.chaos = chaos_eng->stats();
+    out.chaos_log = chaos_eng->log();
   }
   out.obs.timeline = std::move(timeline);
   for (std::size_t s = 0; s < shards; ++s) {

@@ -33,6 +33,7 @@
 
 #include "exp/runner.hpp"
 #include "fleet/arrivals.hpp"
+#include "fleet/chaos.hpp"
 #include "fleet/cluster.hpp"
 #include "fleet/control.hpp"
 #include "fleet/policies.hpp"
@@ -99,6 +100,11 @@ struct FleetConfig {
   /// never-taken null-pointer branch per event.  Everything recorded is
   /// deterministic — see FleetObs for the machine-dependent carve-outs.
   ObsConfig obs{};
+  /// Deterministic chaos engine (fleet/chaos): node failures, preemption,
+  /// cold-start storms, flash crowds.  All families off (the default)
+  /// takes zero different branches from a chaos-free build; the barrier
+  /// families require a finite epoch_s.
+  ChaosConfig chaos{};
 };
 
 struct TenantResult {
@@ -165,6 +171,14 @@ struct FleetResult {
   int nodes_removed = 0;
   /// Per-barrier audit trail (empty on the static path).
   std::vector<EpochSnapshot> epoch_log;
+  // ---- Chaos (deterministic; part of the bit-identical set). ----
+  /// True when any chaos family was armed for this run.
+  bool chaos_enabled = false;
+  /// Aggregate chaos tallies (all zeros when chaos is off).
+  ChaosStats chaos;
+  /// Every injected event in injection order (flash windows first — they
+  /// are scheduled at plan time — then barrier events by epoch).
+  std::vector<ChaosEvent> chaos_log;
   /// Wall-clock of the shard execution (not part of the deterministic
   /// metric set — machine-dependent, like obs.phases).
   double wall_seconds = 0.0;

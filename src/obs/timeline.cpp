@@ -18,7 +18,9 @@ std::string timeline_to_csv(const std::vector<TimelineRow>& rows) {
   std::string out =
       "epoch,sim_time_s,tenant,stage,observed_peak_busy,allocated_pods,"
       "pod_mc,coresidency,completed,violations,nodes,nodes_ordered,"
-      "nodes_added,nodes_removed,displaced_pods,utilization\n";
+      "nodes_added,nodes_removed,displaced_pods,utilization,"
+      "chaos_failed_nodes,chaos_preempted_pods,chaos_stranded_pods,"
+      "chaos_storm_mult\n";
   for (const TimelineRow& row : rows) {
     out += std::to_string(row.epoch);
     out += ',';
@@ -51,6 +53,14 @@ std::string timeline_to_csv(const std::vector<TimelineRow>& rows) {
     out += std::to_string(row.displaced_pods);
     out += ',';
     out += fmt_g(row.utilization);
+    out += ',';
+    out += std::to_string(row.chaos_failed_nodes);
+    out += ',';
+    out += std::to_string(row.chaos_preempted_pods);
+    out += ',';
+    out += std::to_string(row.chaos_stranded_pods);
+    out += ',';
+    out += fmt_g(row.chaos_storm_mult);
     out += '\n';
   }
   return out;
@@ -92,6 +102,14 @@ std::string timeline_to_json(const std::vector<TimelineRow>& rows) {
     out += std::to_string(row.displaced_pods);
     out += R"(,"utilization":)";
     out += fmt_g(row.utilization);
+    out += R"(,"chaos_failed_nodes":)";
+    out += std::to_string(row.chaos_failed_nodes);
+    out += R"(,"chaos_preempted_pods":)";
+    out += std::to_string(row.chaos_preempted_pods);
+    out += R"(,"chaos_stranded_pods":)";
+    out += std::to_string(row.chaos_stranded_pods);
+    out += R"(,"chaos_storm_mult":)";
+    out += fmt_g(row.chaos_storm_mult);
     out += '}';
     if (i + 1 < rows.size()) out += ',';
     out += '\n';

@@ -42,6 +42,14 @@ struct TimelineRow {
   int nodes_removed = 0;
   int displaced_pods = 0;
   double utilization = 0.0;
+  // Chaos injections at this barrier, repeated per row like the cluster
+  // state (all defaults when the chaos engine is off or idle).  Appended
+  // at the end of the CSV/JSON so pre-chaos consumers keep their column
+  // positions.
+  int chaos_failed_nodes = 0;
+  int chaos_preempted_pods = 0;
+  int chaos_stranded_pods = 0;
+  double chaos_storm_mult = 1.0;
 };
 
 /// Flat CSV with a fixed header, rows in (epoch, tenant, stage) order.

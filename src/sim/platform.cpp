@@ -83,6 +83,9 @@ JANUS_HOT Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
     p.size = size;
     return {pod, 0.0, false};
   }
+  // Startup delays below scale with the cold-start-storm multiplier
+  // (startup_mult_ == 1.0 outside a storm window, which multiplies
+  // exactly, so calm runs stay bit-identical to the pre-chaos code).
   // 2. Specialize a generic pre-warmed pod.
   auto& generic = idle_[0];
   const bool can_grow =
@@ -107,7 +110,7 @@ JANUS_HOT Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
     nodes_[static_cast<std::size_t>(p.node)].used += size;
     ++pods_per_cell_[cell(p.node, fn_index)];
     ++pods_per_function_[static_cast<std::size_t>(fn_index)];
-    return {pod, config_.pool.warm_start_s, false};
+    return {pod, config_.pool.warm_start_s * startup_mult_, false};
   }
   // 3. Cold start a fresh pod — unless the scale-out limit is reached, in
   // which case the invocation must wait for a pod to free up.
@@ -124,7 +127,8 @@ JANUS_HOT Platform::Acquired Platform::acquire(int fn_index, Millicores size) {
   ++pods_per_cell_[cell(p.node, fn_index)];
   ++pods_per_function_[static_cast<std::size_t>(fn_index)];
   ++cold_starts_;
-  return {static_cast<int>(pods_.size()) - 1, config_.pool.cold_start_s, true};
+  return {static_cast<int>(pods_.size()) - 1,
+          config_.pool.cold_start_s * startup_mult_, true};
 }
 
 JANUS_HOT void Platform::invoke(int fn_index, Millicores size, Concurrency c,
@@ -139,6 +143,7 @@ JANUS_HOT void Platform::invoke(int fn_index, Millicores size, Concurrency c,
   const Acquired got = acquire(fn_index, size);
   if (got.pod < 0) {
     // Scale-out limit hit: queue until a pod of this function frees up.
+    ++queued_total_;
     JANUS_OBS(obs_, ++obs_->queued);
     // janus-lint: allow(hot-path-growth) saturation slow path — the
     // invocation is about to wait a pod's service time anyway.
@@ -181,32 +186,150 @@ JANUS_HOT void Platform::start_on_pod(
         interference_.sample_multiplier(model.dim(), outcome.colocated, rng_);
   }
   outcome.exec_s = model.exec_time(size, c, ws_factor, outcome.interference);
+  pod.exec_single = outcome.exec_s;
 
-  const int pod_index = got.pod;
+  schedule_completion(got.startup + outcome.exec_s, got.pod, fn_index,
+                      outcome, std::move(done));
+}
+
+JANUS_HOT void Platform::schedule_completion(Seconds delay, int pod_index,
+                                             int fn_index,
+                                             const InvocationOutcome& outcome,
+                                             InvokeFn done) {
   engine_.schedule_after(
-      outcome.startup_s + outcome.exec_s,
-      [this, pod_index, fn_index, outcome, done = std::move(done)]() mutable {
-        auto& p = pods_[static_cast<std::size_t>(pod_index)];
-        p.busy = false;
-        --busy_per_cell_[cell(p.node, fn_index)];
-        --busy_per_function_[static_cast<std::size_t>(fn_index)];
-        // janus-lint: allow(hot-path-growth) the idle list previously held
-        // this pod, so its capacity is already sufficient.
-        idle_[static_cast<std::size_t>(fn_index) + 1].push_back(pod_index);
-        done(outcome);
-
-        // Drain one queued invocation of this function, if any (FIFO).
-        auto& waiting = pending_[static_cast<std::size_t>(fn_index)];
-        if (!waiting.empty()) {
-          PendingInvocation next = std::move(waiting.front());
-          waiting.erase(waiting.begin());
-          const Acquired reacquired = acquire(fn_index, next.size);
-          // A pod just went idle, so reacquisition cannot fail.
-          start_on_pod(fn_index, reacquired, next.size, next.concurrency,
-                       next.ws_factor, next.exogenous_interference,
-                       engine_.now() - next.enqueued_at, std::move(next.done));
-        }
+      delay, [this, pod_index, fn_index, outcome,
+              done = std::move(done)]() mutable {
+        finish_invocation(pod_index, fn_index, outcome, std::move(done));
       });
+}
+
+JANUS_HOT void Platform::finish_invocation(int pod_index, int fn_index,
+                                           InvocationOutcome outcome,
+                                           InvokeFn done) {
+  auto& p = pods_[static_cast<std::size_t>(pod_index)];
+  if (p.preempted) {
+    // The pod was killed mid-flight (chaos preemption): its accounting was
+    // unwound at kill time and it never returns to the idle pool.  The
+    // invocation loses its work and re-enters the acquire path, re-paying
+    // the execution the pod recorded when this attempt started.
+    const Millicores size = p.size;
+    const Seconds exec_single = p.exec_single;
+    p.preempted = false;
+    p.size = 0;       // tombstone: not on any idle list, never reused,
+    p.fn_index = -1;  // never counted again
+    ++requeued_;
+    if (outcome.preempted < 255) ++outcome.preempted;
+    retry_invocation(fn_index, size, exec_single, outcome, std::move(done));
+    return;  // no pod went idle, so nothing to drain
+  }
+  p.busy = false;
+  --busy_per_cell_[cell(p.node, fn_index)];
+  --busy_per_function_[static_cast<std::size_t>(fn_index)];
+  // janus-lint: allow(hot-path-growth) the idle list previously held
+  // this pod, so its capacity is already sufficient.
+  idle_[static_cast<std::size_t>(fn_index) + 1].push_back(pod_index);
+  done(outcome);
+
+  // Drain one queued invocation of this function, if any (FIFO).
+  auto& waiting = pending_[static_cast<std::size_t>(fn_index)];
+  if (!waiting.empty()) {
+    PendingInvocation next = std::move(waiting.front());
+    waiting.erase(waiting.begin());
+    const Acquired reacquired = acquire(fn_index, next.size);
+    // A pod just went idle, so reacquisition cannot fail.
+    const Seconds queued_s = engine_.now() - next.enqueued_at;
+    if (next.retry_exec_s >= 0.0) {
+      resume_retry(fn_index, reacquired, next.size, next.retry_exec_s,
+                   next.prior, queued_s, std::move(next.done));
+    } else {
+      start_on_pod(fn_index, reacquired, next.size, next.concurrency,
+                   next.ws_factor, next.exogenous_interference, queued_s,
+                   std::move(next.done));
+    }
+  }
+}
+
+JANUS_HOT void Platform::retry_invocation(int fn_index, Millicores size,
+                                          Seconds exec_single,
+                                          InvocationOutcome prior,
+                                          InvokeFn done) {
+  const Acquired got = acquire(fn_index, size);
+  if (got.pod < 0) {
+    // Scale-out limit: the retry waits in the same FIFO as fresh
+    // invocations, resuming with its accumulated outcome.
+    ++queued_total_;
+    JANUS_OBS(obs_, ++obs_->queued);
+    PendingInvocation entry;
+    entry.size = size;
+    entry.concurrency = 1;   // unused on retry: exec is re-paid verbatim
+    entry.ws_factor = 0.0;   // likewise
+    entry.done = std::move(done);
+    entry.enqueued_at = engine_.now();
+    entry.retry_exec_s = exec_single;
+    entry.prior = prior;
+    // janus-lint: allow(hot-path-growth) saturation slow path — the retry
+    // is about to wait a pod's service time anyway.
+    pending_[static_cast<std::size_t>(fn_index)].push_back(std::move(entry));
+    return;
+  }
+  resume_retry(fn_index, got, size, exec_single, prior, /*queued_s=*/0.0,
+               std::move(done));
+}
+
+JANUS_HOT void Platform::resume_retry(int fn_index, const Acquired& got,
+                                      Millicores size, Seconds exec_single,
+                                      InvocationOutcome prior,
+                                      Seconds queued_s, InvokeFn done) {
+  (void)size;
+  auto& pod = pods_[static_cast<std::size_t>(got.pod)];
+  pod.busy = true;
+  pod.exec_single = exec_single;
+  // Not a new invocation (invocations_ untouched): the same request
+  // re-pays startup + exec with its original interference draw, so
+  // preemption perturbs no rng stream.
+  InvocationOutcome outcome = prior;
+  outcome.queued_s += queued_s;
+  outcome.startup_s += got.startup;
+  outcome.exec_s += exec_single;
+  outcome.cold_start = outcome.cold_start || got.cold;
+  outcome.pod = got.pod;
+  outcome.node = pod.node;
+  outcome.colocated =
+      std::max(++busy_per_cell_[cell(pod.node, fn_index)], 1);
+  const int busy_now =
+      ++busy_per_function_[static_cast<std::size_t>(fn_index)];
+  peak_busy_per_function_[static_cast<std::size_t>(fn_index)] =
+      std::max(peak_busy_per_function_[static_cast<std::size_t>(fn_index)],
+               busy_now);
+  schedule_completion(got.startup + exec_single, got.pod, fn_index, outcome,
+                      std::move(done));
+}
+
+int Platform::preempt_busy(int fn_index, int max_pods) {
+  (void)function(fn_index);  // range check
+  if (max_pods <= 0) return 0;
+  int killed = 0;
+  for (std::size_t i = 0; i < pods_.size() && killed < max_pods; ++i) {
+    Pod& p = pods_[i];
+    if (!p.busy || p.preempted || p.fn_index != fn_index) continue;
+    // Kill: leave placement + busy accounting immediately; the pending
+    // completion event sees the flag and retries the invocation.
+    p.busy = false;
+    p.preempted = true;
+    --busy_per_cell_[cell(p.node, fn_index)];
+    --busy_per_function_[static_cast<std::size_t>(fn_index)];
+    --pods_per_cell_[cell(p.node, fn_index)];
+    --pods_per_function_[static_cast<std::size_t>(fn_index)];
+    nodes_[static_cast<std::size_t>(p.node)].used -= p.size;
+    ++preempted_pods_;
+    ++killed;
+  }
+  return killed;
+}
+
+void Platform::set_startup_multiplier(double m) {
+  require(m > 0.0, "startup multiplier must be > 0");
+  startup_mult_ = m;
 }
 
 int Platform::peak_colocation(int fn_index) const {

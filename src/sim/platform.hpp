@@ -57,17 +57,26 @@ struct PlatformConfig {
 /// Platform's completion closure, which sits exactly at the engine's
 /// 128-byte event capture budget.
 struct InvocationOutcome {
-  Seconds queued_s = 0.0;     // wait for pod capacity
-  Seconds startup_s = 0.0;    // warm specialize or cold start
-  Seconds exec_s = 0.0;       // model execution time
+  Seconds queued_s = 0.0;     // wait for pod capacity (summed over retries)
+  Seconds startup_s = 0.0;    // warm specialize or cold start (summed)
+  Seconds exec_s = 0.0;       // model execution time (re-paid per retry)
   double interference = 1.0;  // multiplier actually applied
   int colocated = 1;          // same-function busy pods on the node
-  int pod = -1;               // pod the invocation ran on
+  int pod = -1;               // pod the invocation (last) ran on
   int node = -1;              // node hosting that pod
-  bool cold_start = false;
+  bool cold_start = false;    // true if any attempt cold-started
+  /// Times this invocation's pod was preempted mid-flight (chaos): each
+  /// preemption loses the work in progress and re-pays startup + exec on a
+  /// freshly acquired pod.  Saturates at 255 (packed into what used to be
+  /// padding, keeping the struct at 48 bytes).
+  std::uint8_t preempted = 0;
 
   Seconds total() const noexcept { return queued_s + startup_s + exec_s; }
 };
+static_assert(sizeof(InvocationOutcome) == 48,
+              "InvocationOutcome must stay 48 bytes: it is embedded (with "
+              "the caller's InvokeFn) in the completion closure at the "
+              "engine's event capture budget");
 
 /// Completion callback for one invocation.  Inline (no heap fallback) so
 /// the platform's completion closure — which embeds one of these — fits a
@@ -127,6 +136,30 @@ class Platform {
 
   std::uint64_t cold_starts() const noexcept { return cold_starts_; }
   std::uint64_t invocations() const noexcept { return invocations_; }
+  /// Pods killed by preempt_busy so far.
+  std::uint64_t preempted_pods() const noexcept { return preempted_pods_; }
+  /// Invocations that lost a pod mid-flight and re-entered the acquire
+  /// path (each re-pays startup and the full execution).
+  std::uint64_t requeued() const noexcept { return requeued_; }
+  /// Invocations that ever waited for a pod (scale-out limit), cumulative.
+  /// Unlike ObsCounters::queued this plain tally is always on, so the
+  /// chaos scorecard can report queueing without arming observability.
+  std::uint64_t queued_total() const noexcept { return queued_total_; }
+
+  /// Chaos injection: kills up to `max_pods` busy pods of `fn_index`, in
+  /// ascending pod-index order (deterministic).  A killed pod leaves the
+  /// placement accounting immediately and never returns to the idle pool;
+  /// its in-flight invocation, when its completion event fires, re-enters
+  /// the acquire path — re-paying startup (possibly a cold start, possibly
+  /// queueing at the scale-out limit) plus the full execution.  Returns
+  /// the number of pods actually killed.  Cold path: called at epoch
+  /// barriers, never from the event loop.
+  int preempt_busy(int fn_index, int max_pods);
+
+  /// Chaos injection: multiplies warm and cold startup delays for every
+  /// acquisition from now on (cold-start storm windows; 1 = normal).
+  void set_startup_multiplier(double m);
+  double startup_multiplier() const noexcept { return startup_mult_; }
 
   /// Current simulated time of the owning engine (spans are reconstructed
   /// from completion callbacks as now() - outcome.total()).
@@ -143,6 +176,15 @@ class Platform {
     int node = 0;
     Millicores size = 0;
     bool busy = false;
+    /// Killed by preempt_busy while its invocation was in flight; the
+    /// pending completion event consumes the flag, retries the invocation
+    /// elsewhere, and tombstones the pod (it never returns to idle).
+    bool preempted = false;
+    /// Single-execution service time of the in-flight invocation, written
+    /// when it starts.  Lives here (not in the completion closure, which
+    /// sits exactly at the engine's capture budget) so a preemption retry
+    /// can re-pay the execution verbatim.
+    Seconds exec_single = 0.0;
   };
   struct Node {
     Millicores capacity = 0;
@@ -172,6 +214,12 @@ class Platform {
     std::optional<double> exogenous_interference;
     InvokeFn done;
     Seconds enqueued_at;
+    /// Retry state for a preempted invocation re-entering the queue: when
+    /// retry_exec_s >= 0 the entry resumes with `prior` already
+    /// accumulated and the execution re-paid verbatim instead of being
+    /// re-derived from the model.
+    Seconds retry_exec_s = -1.0;
+    InvocationOutcome prior{};
   };
 
   /// Runs an invocation on an acquired pod (after any startup delay).
@@ -179,6 +227,33 @@ class Platform {
                     Concurrency c, double ws_factor,
                     std::optional<double> exogenous_interference,
                     Seconds queued_s, InvokeFn done);
+
+  /// Completion-event body shared by first runs and retries: frees the pod
+  /// and delivers the outcome — or, if the pod was preempted mid-flight,
+  /// tombstones it and re-runs the invocation (re-paying the pod's
+  /// recorded exec_single in full; the accumulated outcome.exec_s cannot
+  /// recover it once a retry happened).
+  void finish_invocation(int pod_index, int fn_index,
+                         InvocationOutcome outcome, InvokeFn done);
+
+  /// Re-runs a preempted invocation: re-enters the standard acquire path
+  /// (warm, generic, cold, or the pending queue at the scale-out limit),
+  /// accumulating times into `prior`.  The interference multiplier — and
+  /// hence the execution time — stays the original draw: same work, drawn
+  /// once, so preemption perturbs no other tenant's rng stream.
+  void retry_invocation(int fn_index, Millicores size, Seconds exec_single,
+                        InvocationOutcome prior, InvokeFn done);
+
+  /// Starts a retry on an acquired pod, accumulating into `prior`.
+  void resume_retry(int fn_index, const Acquired& got, Millicores size,
+                    Seconds exec_single, InvocationOutcome prior,
+                    Seconds queued_s, InvokeFn done);
+
+  /// Schedules the completion event for a running invocation, `delay` from
+  /// now.  The delay is explicit because outcome times are accumulated
+  /// across retries and cannot recover the current attempt's duration.
+  void schedule_completion(Seconds delay, int pod_index, int fn_index,
+                           const InvocationOutcome& outcome, InvokeFn done);
 
   /// Flat (node, function) cell index for the incremental counters.
   JANUS_HOT std::size_t cell(int node, int fn) const noexcept {
@@ -212,6 +287,11 @@ class Platform {
   std::vector<int> peak_busy_per_function_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t invocations_ = 0;
+  std::uint64_t preempted_pods_ = 0;
+  std::uint64_t requeued_ = 0;
+  std::uint64_t queued_total_ = 0;
+  /// Cold-start-storm multiplier applied to startup delays (1 = calm).
+  double startup_mult_ = 1.0;
   ObsCounters* obs_ = nullptr;
 };
 

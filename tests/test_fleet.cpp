@@ -192,6 +192,68 @@ TEST(Arrivals, SpecValidation) {
   EXPECT_THROW(arrival_kind_from_string("pareto"), std::invalid_argument);
 }
 
+TEST(Arrivals, FlashCrowdMultipliesRateInsideWindow) {
+  ArrivalSpec spec;
+  spec.rate = 20.0;
+  spec.flash_k = 5.0;
+  spec.flash_t0_s = 50.0;
+  spec.flash_t1_s = 100.0;
+  const auto times = arrival_times(spec, 30000, 11);
+  int inside = 0;
+  for (Seconds t : times) {
+    if (t >= 50.0 && t < 100.0) ++inside;
+  }
+  // 50 s at 20/s x 5 = ~5000 arrivals inside the window.
+  EXPECT_NEAR(inside, 5000, 5000 * 0.10);
+  // The plan stays blind: mean_rate() excludes the window by design.
+  EXPECT_DOUBLE_EQ(spec.mean_rate(), 20.0);
+}
+
+TEST(Arrivals, FlashComposesWithEveryKindMonotoneDeterministic) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal,
+        ArrivalKind::Trace}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate = 10.0;
+    spec.burst_rate = 40.0;
+    if (kind == ArrivalKind::Trace) spec.trace_gaps = {0.05, 0.2, 0.11};
+    spec.flash_k = 8.0;
+    spec.flash_t0_s = 5.0;
+    spec.flash_t1_s = 9.0;
+    const auto a = arrival_times(spec, 3000, 42);
+    EXPECT_EQ(a, arrival_times(spec, 3000, 42)) << to_string(kind);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      ASSERT_GT(a[i], a[i - 1]) << to_string(kind);
+    }
+    // The warp is the identity before t0: the pre-window prefix matches
+    // the base process exactly.
+    ArrivalSpec base = spec;
+    base.flash_k = 1.0;
+    const auto b = arrival_times(base, 3000, 42);
+    for (std::size_t i = 0; i < a.size() && a[i] < 5.0; ++i) {
+      ASSERT_DOUBLE_EQ(a[i], b[i]) << to_string(kind);
+    }
+  }
+}
+
+TEST(Arrivals, FlashSpecValidation) {
+  ArrivalSpec spec;
+  spec.flash_k = 0.0;
+  EXPECT_THROW(make_arrivals(spec), std::invalid_argument);
+  spec.flash_k = -2.0;
+  EXPECT_THROW(make_arrivals(spec), std::invalid_argument);
+  spec.flash_k = 3.0;  // window required once armed
+  spec.flash_t0_s = 10.0;
+  spec.flash_t1_s = 10.0;
+  EXPECT_THROW(make_arrivals(spec), std::invalid_argument);
+  spec.flash_t1_s = 20.0;
+  EXPECT_NO_THROW(make_arrivals(spec));
+  // K < 1 is a brown-out, equally legal.
+  spec.flash_k = 0.25;
+  EXPECT_NO_THROW(make_arrivals(spec));
+}
+
 // -------------------------------------------------------------- cluster --
 TEST(Cluster, PacksGroupOntoOneNodeWhenItFits) {
   ClusterCapacity cluster({4, 10000});
@@ -250,6 +312,60 @@ TEST(Cluster, EmptyPlacementsAreWellDefined) {
   // ...but growing a sizeless group later is an error, not a free lunch.
   const int group = cluster.add_group(0, 0);
   EXPECT_THROW(cluster.resize_group(group, 2), std::invalid_argument);
+}
+
+TEST(Cluster, FailNodeRepacksDisplacedPods) {
+  ClusterCapacity cluster({3, 10000});
+  const int a = cluster.add_group(5, 2000);  // fills node 0
+  const int b = cluster.add_group(2, 3000);  // node 1
+  const int victim = cluster.assignment(a)[0];
+  const auto out = cluster.fail_node(victim);
+  EXPECT_EQ(out.displaced, 5);
+  EXPECT_EQ(out.stranded, 0);
+  EXPECT_EQ(cluster.nodes(), 2);
+  EXPECT_EQ(cluster.stranded_pods(), 0);
+  // All five pods survived the failure; the surviving assignments were
+  // renumbered, so every index is a valid node again.
+  ASSERT_EQ(cluster.assignment(a).size(), 5u);
+  for (int node : cluster.assignment(a)) {
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, 2);
+  }
+  ASSERT_EQ(cluster.assignment(b).size(), 2u);
+  // Same call sequence, same outcome: determinism of the re-pack.
+  ClusterCapacity replay({3, 10000});
+  const int ra = replay.add_group(5, 2000);
+  replay.add_group(2, 3000);
+  replay.fail_node(victim);
+  EXPECT_EQ(replay.assignment(ra), cluster.assignment(a));
+}
+
+TEST(Cluster, FailNodeWithOnlyZeroPodGroupsIsPlainRetirement) {
+  ClusterCapacity cluster({2, 1000});
+  cluster.add_group(0, 0);  // group exists, hosts nothing anywhere
+  const auto out = cluster.fail_node(1);
+  EXPECT_EQ(out.displaced, 0);
+  EXPECT_EQ(out.stranded, 0);
+  EXPECT_EQ(cluster.nodes(), 1);
+  EXPECT_EQ(cluster.stranded_pods(), 0);
+}
+
+TEST(Cluster, FailLastNodeStrandsInsteadOfAsserting) {
+  ClusterCapacity cluster({1, 10000});
+  const int group = cluster.add_group(3, 2000);
+  const auto out = cluster.fail_node(0);
+  EXPECT_EQ(out.displaced, 0);  // nowhere to re-pack
+  EXPECT_EQ(out.stranded, 3);
+  EXPECT_EQ(cluster.nodes(), 0);
+  EXPECT_EQ(cluster.stranded_pods(), 3);
+  EXPECT_TRUE(cluster.assignment(group).empty());
+  // Utilization of a nodeless cluster is defined (0), not a divide-by-zero.
+  EXPECT_DOUBLE_EQ(cluster.utilization(), 0.0);
+  // Growing a group with no nodes left strands the new pods too.
+  cluster.resize_group(group, 2);
+  EXPECT_TRUE(cluster.assignment(group).empty());
+  EXPECT_EQ(cluster.stranded_pods(), 5);
+  EXPECT_THROW(cluster.fail_node(0), std::invalid_argument);
 }
 
 TEST(Cluster, ResizeGroupGrowsAndShrinks) {

@@ -91,6 +91,18 @@ class TestDeterminismUnordered(FixtureCase):
         self.assert_clean("determinism_unordered.cpp",
                           "src/policy/fixture.cpp")
 
+    def test_chaos_engine_is_in_scope(self):
+        # The chaos schedule is pure (seed, epoch, tenants) → injections
+        # and feeds the bit-identity benches, so src/fleet/chaos.* must
+        # sit inside the order-sensitive scope.
+        self.assert_finding(
+            "determinism_unordered.cpp", "src/fleet/chaos.cpp",
+            ["src/fleet/chaos.cpp:5: [determinism-unordered] "
+             "std::unordered_map in an order-sensitive path: its "
+             "iteration order varies across standard libraries and runs, "
+             "breaking the bit-identical-metrics contract; use std::map "
+             "or a sorted vector"])
+
     def test_suppressed(self):
         self.assert_clean("determinism_unordered_allowed.cpp",
                           "src/sim/fixture.cpp")

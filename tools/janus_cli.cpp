@@ -104,6 +104,20 @@ int usage(std::FILE* out = stderr) {
       "                  write the per-(epoch, tenant, stage) control-plane\n"
       "                  timeline to P (.json or .csv); rows only appear\n"
       "                  when --epoch-s is finite\n"
+      "  --chaos SPEC    deterministic chaos injection: a comma-separated\n"
+      "                  subset of failures,preemption,storms,flash — or\n"
+      "                  all, or none.  failures/preemption/storms act at\n"
+      "                  epoch barriers and need a finite --epoch-s; the\n"
+      "                  schedule is a pure function of (--seed,\n"
+      "                  --chaos-seed, tenant set), bit-identical at any\n"
+      "                  --shards\n"
+      "  --chaos-seed N  chaos schedule seed (default 7), mixed with\n"
+      "                  --seed so one workload can face many schedules;\n"
+      "                  needs --chaos\n"
+      "  --flash T0:T1:K multiply every tenant's arrival rate by K over\n"
+      "                  [T0, T1) sim-seconds (composes with every\n"
+      "                  --arrivals kind; cannot be combined with --chaos\n"
+      "                  flash, which schedules its own windows)\n"
       "  --json          machine-readable result on stdout\n"
       "\n"
       "global flags:\n"
@@ -138,6 +152,9 @@ struct Flags {
   std::string trace_out;     // span artifact path; empty = tracing off
   std::string obs_timeline;  // timeline artifact path; empty = off
   int obs_sample = 1;
+  std::string chaos;         // chaos family spec; empty = off
+  std::uint64_t chaos_seed = 7;
+  std::string flash;         // "T0:T1:K" window; empty = off
   std::string log_level;  // empty = leave the library default (warn)
   std::vector<std::string> seen;
 };
@@ -234,6 +251,17 @@ bool parse_flags(int argc, char** argv, int first, Flags& flags,
         throw_invalid("--seed expects a non-negative integer: " + text);
       }
       flags.seed = std::stoull(text);
+    } else if (arg == "--chaos") {
+      flags.chaos = value("--chaos");
+    } else if (arg == "--chaos-seed") {
+      const std::string text = value("--chaos-seed");
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        throw_invalid("--chaos-seed expects a non-negative integer: " + text);
+      }
+      flags.chaos_seed = std::stoull(text);
+    } else if (arg == "--flash") {
+      flags.flash = value("--flash");
     } else if (arg == "--tenants") {
       flags.tenants = parse_int(value("--tenants"), "--tenants");
     } else if (arg == "--requests") {
@@ -525,6 +553,61 @@ int cmd_fleet(const Flags& flags) {
   config.cluster.node_capacity_mc = flags.node_mc;
   if (flags.epoch_s > 0.0) config.epoch_s = flags.epoch_s;
   config.autoscale.enabled = flags.autoscale;
+  const bool chaos_seed_given =
+      std::find(flags.seen.begin(), flags.seen.end(), "--chaos-seed") !=
+      flags.seen.end();
+  const bool chaos_given =
+      std::find(flags.seen.begin(), flags.seen.end(), "--chaos") !=
+      flags.seen.end();
+  // Keyed on flag presence, not spec emptiness: `--chaos ""` must be the
+  // one-line usage error (chaos_config_from_spec rejects empty specs),
+  // never a silent calm run.
+  if (chaos_given) {
+    try {
+      config.chaos = chaos_config_from_spec(flags.chaos);
+    } catch (const std::invalid_argument&) {
+      // Same contract as --policy: an enumerable argument outside its
+      // valid set is a one-line usage-class error, exit 2.
+      throw UnknownPolicyError(
+          "janus_cli: unknown --chaos '" + flags.chaos +
+          "' (a comma-separated subset of failures, preemption, storms, "
+          "flash — or all, or none)");
+    }
+    config.chaos.seed = flags.chaos_seed;
+    if (config.chaos.needs_epochs() && flags.epoch_s <= 0.0) {
+      throw_invalid(
+          "--chaos failures/preemption/storms act at epoch barriers; add "
+          "a finite --epoch-s");
+    }
+  } else if (chaos_seed_given) {
+    throw_invalid("--chaos-seed needs --chaos");
+  }
+  if (!flags.flash.empty()) {
+    if (config.chaos.flash_crowds) {
+      throw_invalid("--flash cannot be combined with --chaos flash (the "
+                    "chaos engine schedules its own windows)");
+    }
+    // "T0:T1:K" — window bounds validated by make_arrivals in run_fleet;
+    // only the shape is parsed here.
+    const std::size_t c1 = flags.flash.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : flags.flash.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      throw_invalid("--flash expects T0:T1:K (seconds, seconds, "
+                    "multiplier): " +
+                    flags.flash);
+    }
+    const double t0 = parse_double(flags.flash.substr(0, c1), "--flash T0");
+    const double t1 =
+        parse_double(flags.flash.substr(c1 + 1, c2 - c1 - 1), "--flash T1");
+    const double k = parse_double(flags.flash.substr(c2 + 1), "--flash K");
+    for (auto& tenant : config.tenants) {
+      tenant.arrivals.flash_t0_s = t0;
+      tenant.arrivals.flash_t1_s = t1;
+      tenant.arrivals.flash_k = k;
+    }
+  }
   if (flags.obs_sample != 1 && flags.trace_out.empty()) {
     throw_invalid("--obs-sample only applies to span tracing; add "
                   "--trace-out <path>");
@@ -575,6 +658,17 @@ int cmd_fleet(const Flags& flags) {
         result.epochs, result.final_nodes, result.nodes_added,
         result.nodes_removed);
   }
+  if (result.chaos_enabled) {
+    std::printf(
+        "chaos: %d node failures (%d pods re-packed, %d stranded), "
+        "%d preemption bursts (%d pods killed, %llu invocations re-queued), "
+        "%d cold-start storms, %d flash windows\n",
+        result.chaos.node_failures, result.chaos.displaced_pods,
+        result.chaos.stranded_pods, result.chaos.preemption_bursts,
+        result.chaos.preempted_pods,
+        static_cast<unsigned long long>(result.chaos.requeued_invocations),
+        result.chaos.storms, result.chaos.flash_windows);
+  }
   return 0;
 }
 
@@ -618,7 +712,8 @@ int main(int argc, char** argv) {
                                  "--autoscale", "--policy",
                                  "--contention-alpha", "--json",
                                  "--trace-out", "--obs-timeline",
-                                 "--obs-sample", "--log-level"})) {
+                                 "--obs-sample", "--chaos", "--chaos-seed",
+                                 "--flash", "--log-level"})) {
         return usage();
       }
       return cmd_fleet(flags);
