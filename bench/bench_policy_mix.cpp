@@ -21,12 +21,14 @@
 // shards, and sweep points.  Exits nonzero if any shard count changes any
 // metric, if the control plane never reconciled, or if the catalog
 // re-synthesized anything after the first run.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "exp/report.hpp"
 #include "fleet/fleet.hpp"
+#include "model/workloads.hpp"
 
 using namespace janus;
 
@@ -131,6 +133,32 @@ int main() {
                                   ">SLO", "wall (s)"},
                                  rows)
                         .c_str());
+  // ---- Concurrency axis: batching level vs latency/cost trade. --------
+  // Janus fleets with every tenant's concurrency raised together (clamped
+  // to each workload's max — VA stays at 1, "FE and ICO are
+  // non-batchable").  Higher batching stretches the SLO (the workload
+  // tables grant more budget per request) but shares each pod across more
+  // in-flight requests, so CPU per request should fall.
+  std::printf("%s",
+              banner("Policy mix: tenant concurrency sweep (janus)").c_str());
+  std::vector<std::vector<std::string>> conc_rows;
+  for (Concurrency conc : {1, 2, 3}) {
+    FleetConfig config = base_fleet(catalog, {"janus"});
+    for (auto& tenant : config.tenants) {
+      tenant.concurrency = std::min(
+          conc, workload_by_name(tenant.workload).max_concurrency);
+    }
+    const FleetResult r = run_fleet(config);
+    conc_rows.push_back({std::to_string(conc), fmt(r.fleet_p50, 3),
+                         fmt(r.fleet_p99, 3), fmt(r.fleet_mean_cpu_mc, 0),
+                         fmt(100.0 * r.fleet_violation_rate, 2) + "%",
+                         fmt(r.wall_seconds, 3)});
+  }
+  std::printf("%s", render_table({"conc", "P50 (s)", "P99 (s)", "CPU (mc)",
+                                  ">SLO", "wall (s)"},
+                                 conc_rows)
+                        .c_str());
+
   const PolicyCatalogStats after_homogeneous = catalog.stats();
   std::printf("catalog: %d profile sets, %d hints bundles, %d ORION solves\n",
               after_homogeneous.profiles_built, after_homogeneous.bundles_built,

@@ -14,9 +14,9 @@
 #     so the concurrency-facing suites (fleet/common/sim) are rebuilt under
 #     -fsanitize=thread in build-thread/ and rerun.  TSAN=0 skips.
 #   * Bench report — the fast benchmarks with committed baselines
-#     (fleet_scale, engine, autoscale, policy_mix, obs_overhead, chaos)
-#     run once and
-#     tools/compare_bench.py diffs their wall times against
+#     (fleet_scale, engine, autoscale, policy_mix, obs_overhead, chaos,
+#     plus a reduced-size fleet_huge) run once and
+#     tools/compare_bench.py diffs their wall times and peak RSS against
 #     bench/baselines/, flagging >20% regressions as warnings and failing
 #     the build past BENCH_FATAL_PCT=35 (far beyond scheduler noise), on a
 #     benchmark that exits nonzero, or on one missing from the fresh set
@@ -97,11 +97,16 @@ if [[ -z "$SANITIZE" ]]; then
     # Fresh directory every run: a stale JSON from a previous run must
     # never satisfy the comparison, and a bench that fails, vanishes, or
     # is silently dropped from this list must fail the build — hence
-    # --require and no '|| true'.
-    BENCH_SET=(fleet_scale engine autoscale policy_mix obs_overhead chaos)
+    # --require and no '|| true'.  fleet_huge runs a reduced-size variant
+    # (JANUS_HUGE_TENANTS; the committed baseline is full-scale, so its
+    # wall/RSS deltas read as improvements — the gate here is that the
+    # streaming + process-sharded path completes and stays bit-identical).
+    BENCH_SET=(fleet_scale engine autoscale policy_mix obs_overhead chaos
+               fleet_huge)
     rm -rf "$BUILD_DIR/bench-report"
     mkdir -p "$BUILD_DIR/bench-report"
-    "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \
+    JANUS_HUGE_TENANTS="${JANUS_HUGE_TENANTS:-4000}" \
+      "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \
       "${BENCH_SET[@]}"
     tools/compare_bench.py --fresh "$BUILD_DIR/bench-report" \
       ${FATAL_ARGS[@]+"${FATAL_ARGS[@]}"} \

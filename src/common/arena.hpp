@@ -1,0 +1,156 @@
+// Chunked bump allocator for the fleet's SoA request/span storage.
+//
+// The six-figure-tenant path cannot afford per-request vector growth: a
+// 100k-tenant run completes tens of millions of requests, and every
+// reallocation both fragments the heap and doubles peak RSS while it
+// copies.  An Arena hands out raw arrays by bumping a cursor inside
+// preallocated blocks; nothing is freed individually, and release()
+// returns every block at once — which is exactly the lifetime of a
+// tenant's request log (filled during the run, folded into the shard
+// accumulator, dropped whole).
+//
+// Deterministic by construction: allocation order is program order, no
+// addresses ever leak into simulated state, and the arena itself holds no
+// randomness.  The bump path is JANUS_HOT and allocation-free once a
+// block exists; growing a fresh block is the documented cold path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
+
+namespace janus {
+
+/// Non-owning view over a column slice handed out by the SoA request log.
+/// Mirrors the std::vector surface the record consumers already use
+/// (size/empty/indexing/iteration/==), so swapping the AoS records for
+/// arena columns does not ripple through every reader.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  const T& front() const noexcept { return data_[0]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  friend bool operator==(Span a, Span b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(Span a, const std::vector<T>& b) {
+    return a == Span(b.data(), b.size());
+  }
+  friend bool operator==(const std::vector<T>& a, Span b) {
+    return Span(a.data(), a.size()) == b;
+  }
+  friend bool operator!=(Span a, Span b) { return !(a == b); }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class Arena {
+ public:
+  /// `block_bytes` caps the block size: blocks start at kFirstBlockBytes
+  /// and double toward the cap, so a tiny arena (a 10-request tenant's
+  /// log in a 100k-tenant fleet) holds hundreds of bytes, not a full
+  /// default block, while a steadily growing one converges to cap-sized
+  /// blocks in O(log) allocations.  Single allocations larger than the
+  /// next block get a dedicated block of their own size.
+  explicit Arena(std::size_t block_bytes = 1u << 16)
+      : block_bytes_(block_bytes),
+        next_block_bytes_(std::min(block_bytes, kFirstBlockBytes)) {
+    require(block_bytes > 0, "arena block size must be > 0");
+  }
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `count` default-initialized Ts.  The fast path is a
+  /// cursor add inside the current block; only exhausting it takes the
+  /// cold grow() path.  T must be trivially destructible — the arena
+  /// never runs destructors.
+  template <typename T>
+  JANUS_HOT T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is released without running destructors");
+    const std::size_t bytes = count * sizeof(T);
+    std::size_t at = align_up(cursor_, alignof(T));
+    if (blocks_.empty() || at + bytes > blocks_.back().size) {
+      grow(bytes, alignof(T));
+      at = align_up(cursor_, alignof(T));
+    }
+    cursor_ = at + bytes;
+    bytes_allocated_ += bytes;
+    T* out = reinterpret_cast<T*>(blocks_.back().data.get() + at);
+    for (std::size_t i = 0; i < count; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// Frees every block at once (the whole point: one tenant's storage has
+  /// one lifetime).  Outstanding pointers are invalidated.
+  void release() noexcept {
+    blocks_.clear();
+    blocks_.shrink_to_fit();
+    cursor_ = 0;
+    bytes_allocated_ = 0;
+    next_block_bytes_ = std::min(block_bytes_, kFirstBlockBytes);
+  }
+
+  /// Total bytes handed out since construction / the last release()
+  /// (excludes block slack; reporting only).
+  std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+  std::size_t blocks() const noexcept { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  /// Cold path: starts a fresh block big enough for the request.  Block
+  /// sizes ramp geometrically from kFirstBlockBytes to block_bytes_ so
+  /// per-tenant waste stays proportional to what the tenant actually
+  /// stores.
+  void grow(std::size_t bytes, std::size_t align) {
+    Block block;
+    block.size = std::max(next_block_bytes_, bytes + align);
+    next_block_bytes_ = std::min(block_bytes_, next_block_bytes_ * 2);
+    block.data = std::make_unique<std::byte[]>(block.size);
+    blocks_.push_back(std::move(block));
+    cursor_ = 0;
+  }
+
+  static constexpr std::size_t kFirstBlockBytes = 256;
+
+  std::size_t block_bytes_;
+  std::size_t next_block_bytes_ = kFirstBlockBytes;
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;  // bump offset inside blocks_.back()
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace janus

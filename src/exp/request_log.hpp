@@ -1,0 +1,194 @@
+// Arena-backed SoA storage for completed request records.
+//
+// The fleet's former `std::vector<RequestRecord>` paid three ways at
+// scale: every record carried two heap vectors (sizes, stage_total), the
+// outer vector reallocated as requests completed, and none of it could be
+// freed until the whole FleetResult was assembled.  RequestLog keeps the
+// same *read* surface (size(), operator[], range-for, the .e2e/.cpu_mc/
+// .violated/.sizes fields) but stores columns in Arena chunks:
+//
+//   * e2e / cpu_mc / violated are flat columns (17 bytes per request);
+//   * the per-stage detail columns (sizes, stage_total) are optional —
+//     the fleet switches them off (RunConfig::record_stage_detail), the
+//     paper benches that read per-request allocations keep them;
+//   * release() drops every chunk at once while size() survives, which is
+//     what lets the streaming fleet fold a finished tenant and free its
+//     storage immediately, bounding memory to O(active tenants).
+//
+// push_back(RequestRecord) stays the staging API so producers (runner,
+// level_workflow, tests) still build an ordinary struct per request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/types.hpp"
+
+namespace janus {
+
+struct RequestRecord {
+  Seconds e2e = 0.0;
+  double cpu_mc = 0.0;  // Σ of per-stage allocated millicores
+  bool violated = false;
+  std::vector<Millicores> sizes;
+  std::vector<Seconds> stage_total;
+};
+
+class RequestLog {
+ public:
+  /// Value view of one record.  e2e/cpu_mc/violated alias the columns
+  /// (assignment through them mutates the log — the tests' historical
+  /// `requests[i].violated = true` keeps working); sizes/stage_total are
+  /// spans over the detail columns (empty when detail is off).
+  struct View {
+    Seconds& e2e;
+    double& cpu_mc;
+    std::uint8_t& violated;
+    Span<Millicores> sizes;
+    Span<Seconds> stage_total;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const RequestLog* log, std::size_t i)
+        : log_(log), i_(i) {}
+    View operator*() const { return (*log_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const RequestLog* log_;
+    std::size_t i_;
+  };
+
+  RequestLog() = default;
+  RequestLog(RequestLog&&) noexcept = default;
+  RequestLog& operator=(RequestLog&&) noexcept = default;
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  /// Fixes the stage count and whether the per-stage detail columns are
+  /// kept.  Callers that know the shape (serve_workload) call this before
+  /// pushing; a bare push_back infers {stages = record's, detail = on}
+  /// from its first record.  Re-configuring must match.
+  void configure(std::size_t stages, bool stage_detail) {
+    if (configured_) {
+      require(stages == stages_ && stage_detail == detail_,
+              "request log already configured with a different shape");
+      return;
+    }
+    stages_ = stages;
+    detail_ = stage_detail && stages > 0;
+    configured_ = true;
+  }
+
+  bool stage_detail() const noexcept { return detail_; }
+  std::size_t stages() const noexcept { return stages_; }
+
+  /// Ensures capacity for `total` records overall (vector semantics).  A
+  /// reserve before the first push yields exactly one arena chunk — the
+  /// "preallocated" path the fleet uses, since it knows requests up front.
+  void reserve(std::size_t total) {
+    require(!released_, "request log was released");
+    if (total > capacity_) add_chunk(total - capacity_);
+  }
+
+  JANUS_HOT void push_back(const RequestRecord& r) {
+    require(!released_, "request log was released");
+    if (!configured_) configure(r.sizes.size(), true);
+    if (size_ == capacity_) add_chunk(kChunkRecords);
+    Chunk& c = chunks_.back();
+    const std::size_t at = size_ - c.start;
+    c.e2e[at] = r.e2e;
+    c.cpu_mc[at] = r.cpu_mc;
+    c.violated[at] = r.violated ? 1 : 0;
+    if (detail_) {
+      require(r.sizes.size() == stages_ && r.stage_total.size() == stages_,
+              "request record stage count does not match the log");
+      for (std::size_t s = 0; s < stages_; ++s) {
+        c.sizes[at * stages_ + s] = r.sizes[s];
+        c.stage_total[at * stages_ + s] = r.stage_total[s];
+      }
+    }
+    ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  View operator[](std::size_t i) const {
+    require(!released_, "request log was released");
+    require(i < size_, "request index out of range");
+    // Few chunks ever exist (one, when reserved); scan from the back.
+    std::size_t ci = chunks_.size() - 1;
+    while (chunks_[ci].start > i) --ci;
+    const Chunk& c = chunks_[ci];
+    const std::size_t at = i - c.start;
+    return View{
+        c.e2e[at], c.cpu_mc[at], c.violated[at],
+        detail_ ? Span<Millicores>(c.sizes + at * stages_, stages_)
+                : Span<Millicores>(),
+        detail_ ? Span<Seconds>(c.stage_total + at * stages_, stages_)
+                : Span<Seconds>()};
+  }
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+  /// Frees every column chunk at once.  size() keeps reporting the records
+  /// folded out; element access afterwards throws.
+  void release() noexcept {
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+    arena_.release();
+    capacity_ = size_;
+    released_ = true;
+  }
+  bool released() const noexcept { return released_; }
+
+  /// Column bytes currently held (reporting; 0 after release()).
+  std::size_t bytes() const noexcept { return arena_.bytes_allocated(); }
+
+ private:
+  static constexpr std::size_t kChunkRecords = 4096;
+
+  struct Chunk {
+    std::size_t start = 0;  // global index of this chunk's first record
+    Seconds* e2e = nullptr;
+    double* cpu_mc = nullptr;
+    std::uint8_t* violated = nullptr;
+    Millicores* sizes = nullptr;        // stages_ per record, detail only
+    Seconds* stage_total = nullptr;     // stages_ per record, detail only
+  };
+
+  /// Cold path: one arena chunk of `records` capacity, all columns.
+  void add_chunk(std::size_t records) {
+    Chunk c;
+    c.start = capacity_;
+    c.e2e = arena_.allocate<Seconds>(records);
+    c.cpu_mc = arena_.allocate<double>(records);
+    c.violated = arena_.allocate<std::uint8_t>(records);
+    if (detail_) {
+      c.sizes = arena_.allocate<Millicores>(records * stages_);
+      c.stage_total = arena_.allocate<Seconds>(records * stages_);
+    }
+    chunks_.push_back(c);
+    capacity_ += records;
+  }
+
+  Arena arena_{1u << 18};
+  std::vector<Chunk> chunks_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t stages_ = 0;
+  bool detail_ = true;
+  bool configured_ = false;
+  bool released_ = false;
+};
+
+}  // namespace janus

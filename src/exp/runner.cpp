@@ -31,51 +31,80 @@ double RunResult::e2e_percentile(double p) const {
   return e2e_distribution().percentile(p);
 }
 
-std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
-                                       const RunConfig& config) {
-  require(config.requests > 0, "run needs >= 1 request");
-  const auto models = workload.chain_models();
-  require(config.colocation_provider == nullptr ||
-              config.colocation_provider->stages() == models.size(),
-          "co-location provider needs one distribution per chain stage");
-  const CoLocationDistribution coloc =
-      config.colocation_is_default
-          ? CoLocationDistribution::for_concurrency(config.concurrency)
-          : config.colocation;
-  // Snapshot the provider's distributions once: the pre-draw must consume
-  // the rng stream identically on every call (paired requests), even when
-  // a live provider shifts under it mid-run.
-  std::vector<CoLocationDistribution> per_stage;
-  if (config.colocation_provider != nullptr) {
-    per_stage.reserve(models.size());
-    for (std::size_t s = 0; s < models.size(); ++s) {
-      per_stage.push_back(config.colocation_provider->stage_distribution(s));
+namespace {
+
+/// The request-randomness stream, factored so the lazy per-request path in
+/// serve_workload and the eager draw_requests() helper consume *the same*
+/// rng in the same order — a draw is a pure function of (seed, index).
+struct DrawContext {
+  std::vector<FunctionModel> models;
+  CoLocationDistribution coloc;
+  std::vector<CoLocationDistribution> per_stage;  // provider snapshot
+  Concurrency concurrency = 1;
+  InterferenceModel interference;
+  Rng rng{0};
+
+  static DrawContext make(const WorkloadSpec& workload,
+                          const RunConfig& config) {
+    DrawContext ctx;
+    ctx.models = workload.chain_models();
+    require(config.colocation_provider == nullptr ||
+                config.colocation_provider->stages() == ctx.models.size(),
+            "co-location provider needs one distribution per chain stage");
+    ctx.coloc =
+        config.colocation_is_default
+            ? CoLocationDistribution::for_concurrency(config.concurrency)
+            : config.colocation;
+    // Snapshot the provider's distributions once: the draw stream must be
+    // consumed identically on every run (paired requests), even when a
+    // live provider shifts under it mid-run.
+    if (config.colocation_provider != nullptr) {
+      ctx.per_stage.reserve(ctx.models.size());
+      for (std::size_t s = 0; s < ctx.models.size(); ++s) {
+        ctx.per_stage.push_back(
+            config.colocation_provider->stage_distribution(s));
+      }
     }
+    ctx.concurrency = config.concurrency;
+    ctx.interference = config.interference;
+    ctx.rng = Rng(config.seed).split(0x5eedULL);
+    return ctx;
   }
-  Rng rng = Rng(config.seed).split(0x5eedULL);
-  std::vector<RequestDraw> draws;
-  draws.reserve(static_cast<std::size_t>(config.requests));
-  for (int r = 0; r < config.requests; ++r) {
+
+  RequestDraw next() {
     RequestDraw draw;
     for (std::size_t s = 0; s < models.size(); ++s) {
       const auto& model = models[s];
-      draw.ws.push_back(model.sample_ws(config.concurrency, rng));
+      draw.ws.push_back(model.sample_ws(concurrency, rng));
       const CoLocationDistribution& dist =
           per_stage.empty() ? coloc : per_stage[s];
       const int n = dist.sample(rng);
       draw.interference.push_back(
-          config.interference.sample_multiplier(model.dim(), n, rng));
+          interference.sample_multiplier(model.dim(), n, rng));
     }
-    draws.push_back(std::move(draw));
+    return draw;
   }
+};
+
+}  // namespace
+
+std::vector<RequestDraw> draw_requests(const WorkloadSpec& workload,
+                                       const RunConfig& config) {
+  require(config.requests > 0, "run needs >= 1 request");
+  DrawContext ctx = DrawContext::make(workload, config);
+  std::vector<RequestDraw> draws;
+  draws.reserve(static_cast<std::size_t>(config.requests));
+  for (int r = 0; r < config.requests; ++r) draws.push_back(ctx.next());
   return draws;
 }
 
 namespace {
 
-/// Per-request execution state machine driven by platform callbacks.
+/// Per-request execution state machine driven by platform callbacks.  Owns
+/// its draw by value — nothing keeps a 100k-tenant fleet's full draw table
+/// alive, only the O(in-flight) requests actually on the platform.
 struct InFlight {
-  const RequestDraw* draw = nullptr;
+  RequestDraw draw;
   std::size_t index = 0;  // request index (live interference rng stream)
   std::size_t stage = 0;
   Seconds elapsed = 0.0;
@@ -86,7 +115,8 @@ struct InFlight {
 /// by shared_ptr from the scheduled closures; freed when the last request
 /// completes and the closures are destroyed.
 struct ServeState {
-  std::vector<RequestDraw> draws;
+  DrawContext draws;              // lazy stream; consumed in index order
+  std::size_t total_requests = 0;
   Platform* platform = nullptr;
   SizingPolicy* policy = nullptr;
   RunResult* out = nullptr;
@@ -94,8 +124,18 @@ struct ServeState {
   Seconds slo = 0.0;
   Concurrency concurrency = 1;
   bool endogenous_interference = false;
+  bool record_detail = true;
   bool closed_loop = false;
   std::size_t next_request = 0;  // closed-loop cursor
+  // Open-loop arrivals as a chained event ladder: arrival i schedules
+  // arrival i+1 when it fires, so the calendar holds O(1) arrival events
+  // per tenant instead of the whole stream.  The rng consumption (and so
+  // every arrival time) is identical to the historical pre-scheduled loop.
+  SimEngine* engine = nullptr;
+  std::unique_ptr<ArrivalProcess> process;
+  Rng arrivals_rng{0};
+  Seconds arrival_time = 0.0;
+  std::size_t next_arrival = 0;
   // Live co-location feed (epoch-driven): the multiplier is drawn at
   // stage-launch time from the distribution in effect *now*.  The rng for
   // request r / stage s is derived from (seed, r, s) alone, so neither
@@ -145,7 +185,7 @@ std::shared_ptr<InFlight> make_request(const std::shared_ptr<ServeState>& st,
 void launch_stage(const std::shared_ptr<ServeState>& st,
                   const std::shared_ptr<InFlight>& req) {
   const Millicores size =
-      st->policy->size_for_stage(req->stage, req->elapsed, *req->draw);
+      st->policy->size_for_stage(req->stage, req->elapsed, req->draw);
   std::optional<double> exo;
   if (!st->endogenous_interference) {
     if (st->live_feed != nullptr) {
@@ -156,12 +196,12 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
       const int n = dist.sample(rng);
       exo = st->interference.sample_multiplier(st->dims[req->stage], n, rng);
     } else {
-      exo = req->draw->interference[req->stage];
+      exo = req->draw.interference[req->stage];
     }
   }
   st->platform->invoke(
       static_cast<int>(req->stage), size, st->concurrency,
-      req->draw->ws[req->stage], exo,
+      req->draw.ws[req->stage], exo,
       [st, req, size](const InvocationOutcome& outcome) {
         if (st->trace_ring != nullptr &&
             req->index % st->trace_sample_every == 0) {
@@ -169,8 +209,10 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
         }
         req->elapsed += outcome.total();
         req->record.cpu_mc += static_cast<double>(size);
-        req->record.sizes.push_back(size);
-        req->record.stage_total.push_back(outcome.total());
+        if (st->record_detail) {
+          req->record.sizes.push_back(size);
+          req->record.stage_total.push_back(outcome.total());
+        }
         ++req->stage;
         if (req->stage < st->stages) {
           launch_stage(st, req);
@@ -178,8 +220,8 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
         }
         req->record.e2e = req->elapsed;
         req->record.violated = req->elapsed > st->slo;
-        st->out->requests.push_back(std::move(req->record));
-        if (st->closed_loop && st->next_request < st->draws.size()) {
+        st->out->requests.push_back(req->record);
+        if (st->closed_loop && st->next_request < st->total_requests) {
           // Next request enters the moment this one finished — the
           // paper's sequential measurement loop, expressed as an event
           // chain so the engine can be shared.
@@ -190,16 +232,30 @@ void launch_stage(const std::shared_ptr<ServeState>& st,
 
 std::shared_ptr<InFlight> make_request(const std::shared_ptr<ServeState>& st,
                                        std::size_t index) {
+  // Requests start in index order (sequential closed loop, chained
+  // open-loop arrivals), so drawing here consumes the 0x5eed stream
+  // exactly as the eager draw_requests() table did.
   auto req = std::make_shared<InFlight>();
-  req->draw = &st->draws[index];
+  req->draw = st->draws.next();
   req->index = index;
   return req;
 }
 
 void start_request(const std::shared_ptr<ServeState>& st,
                    const std::shared_ptr<InFlight>& req) {
-  st->policy->on_request_start(*req->draw);
+  st->policy->on_request_start(req->draw);
   launch_stage(st, req);
+}
+
+/// Schedules arrival `next_arrival` and, when it fires, the one after it.
+void schedule_next_arrival(const std::shared_ptr<ServeState>& st) {
+  if (st->next_arrival >= st->total_requests) return;
+  const std::size_t i = st->next_arrival++;
+  st->arrival_time = st->process->next(st->arrival_time, st->arrivals_rng);
+  st->engine->schedule_at(st->arrival_time, [st, i] {
+    schedule_next_arrival(st);
+    start_request(st, make_request(st, i));
+  });
 }
 
 }  // namespace
@@ -208,15 +264,18 @@ void serve_workload(SimEngine& engine, Platform& platform,
                     const WorkloadSpec& workload, SizingPolicy& policy,
                     const RunConfig& config, RunResult& out) {
   require(config.slo > 0.0, "SLO must be > 0");
+  require(config.requests > 0, "run needs >= 1 request");
   auto st = std::make_shared<ServeState>();
-  st->draws = draw_requests(workload, config);
+  st->draws = DrawContext::make(workload, config);
+  st->total_requests = static_cast<std::size_t>(config.requests);
   st->platform = &platform;
   st->policy = &policy;
   st->out = &out;
-  st->stages = workload.chain_models().size();
+  st->stages = st->draws.models.size();
   st->slo = config.slo;
   st->concurrency = config.concurrency;
   st->endogenous_interference = config.endogenous_interference;
+  st->record_detail = config.record_stage_detail;
   if (config.trace_ring != nullptr) {
     require(config.trace_sample_every >= 1,
             "trace sampling stride must be >= 1");
@@ -237,7 +296,8 @@ void serve_workload(SimEngine& engine, Platform& platform,
 
   out.policy_name = policy.name();
   out.slo = config.slo;
-  out.requests.reserve(out.requests.size() + st->draws.size());
+  out.requests.configure(st->stages, config.record_stage_detail);
+  out.requests.reserve(out.requests.size() + st->total_requests);
 
   if (config.open_loop_rate > 0.0) {
     // Open loop: pluggable arrival process; requests overlap on the
@@ -249,14 +309,11 @@ void serve_workload(SimEngine& engine, Platform& platform,
       spec.burst_rate *= config.open_loop_rate / spec.rate;
     }
     spec.rate = config.open_loop_rate;
-    const auto process = make_arrivals(spec);
-    Rng arrivals = Rng(config.seed).split(0xa11aULL);
-    Seconds t = engine.now();
-    for (std::size_t i = 0; i < st->draws.size(); ++i) {
-      t = process->next(t, arrivals);
-      engine.schedule_at(t,
-                         [st, i] { start_request(st, make_request(st, i)); });
-    }
+    st->engine = &engine;
+    st->process = make_arrivals(spec);
+    st->arrivals_rng = Rng(config.seed).split(0xa11aULL);
+    st->arrival_time = engine.now();
+    schedule_next_arrival(st);
   } else {
     // Closed loop: one request at a time (the paper's 1000-request runs).
     st->closed_loop = true;

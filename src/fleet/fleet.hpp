@@ -37,6 +37,7 @@
 #include "fleet/cluster.hpp"
 #include "fleet/control.hpp"
 #include "fleet/policies.hpp"
+#include "fleet/slice.hpp"
 #include "obs/obs.hpp"
 #include "obs/profile.hpp"
 #include "obs/timeline.hpp"
@@ -72,6 +73,22 @@ struct TenantSpec {
 struct FleetConfig {
   std::vector<TenantSpec> tenants;
   int shards = 1;
+  /// Worker *processes*: > 1 forks workers, each owning a contiguous slice
+  /// of tenants with its own `shards` engines.  Barriers synchronize over
+  /// pipes (every worker reconciles the identical full observation
+  /// matrix), and slice outcomes merge in tenant-index order — results are
+  /// bit-identical to processes = 1.  Requires chaos off (chaos preemption
+  /// mutates platforms across the whole fleet at a barrier).
+  int processes = 1;
+  /// Streaming merge: fold each tenant's metrics into the slice
+  /// accumulator the moment it completes and release its request log,
+  /// platform, and policy — memory stays O(active tenants) instead of
+  /// O(total requests).  The cost is per-tenant reporting: no TenantResult
+  /// rows, fleet_e2e stays empty, and fleet p50/p99 come from the merged
+  /// histogram (Histogram::percentile) rather than exact order statistics.
+  /// Requires span tracing and chaos off.  The epoch audit trail, counter
+  /// set, and scalar fleet metrics are bit-identical to the default path.
+  bool stream_metrics = false;
   std::uint64_t seed = 2026;
   ClusterConfig cluster{};
   /// Per-tenant platform template (each tenant gets its own Platform so
@@ -163,6 +180,10 @@ struct FleetResult {
   double cluster_utilization = 0.0;
   int overcommitted_pods = 0;
   int shards = 0;
+  int processes = 1;
+  /// True when the run used the streaming merge (FleetConfig); per-tenant
+  /// rows are then absent and p50/p99 are histogram-interpolated.
+  bool streamed = false;
   // ---- Control plane (all deterministic; part of the bit-identical set).
   /// Reconciliation barriers that ran (0 on the static path).
   int epochs = 0;
@@ -191,9 +212,29 @@ struct FleetResult {
   std::string to_json() const;
 };
 
-/// Runs the whole fleet; deterministic for a fixed (config minus shards)
-/// at any shard count.  Shards execute on an internally owned ThreadPool.
+/// Runs the whole fleet; deterministic for a fixed (config minus shards
+/// minus processes) at any shard and process count.  Shards execute on an
+/// internally owned ThreadPool; processes > 1 forks workers that each run
+/// a tenant slice and return outcomes over pipes (see FleetConfig).
 FleetResult run_fleet(const FleetConfig& config);
+
+/// Executes tenants [lo, hi) of `config` in this process and returns the
+/// slice outcome — the worker half of the file-based sharding path
+/// (`janus_cli fleet --shard-slice LO:HI --result-bin FILE`).  Plans the
+/// whole fleet (the plan is a pure function of the config, so every slice
+/// process derives the identical packing) but simulates only the slice.
+/// Restricted to the static path (epoch_s == kNoEpochs): live barriers
+/// need the coordination channel only run_fleet's fork path provides.
+FleetSliceOutcome run_fleet_slice(const FleetConfig& config, std::size_t lo,
+                                  std::size_t hi);
+
+/// Merges slice outcomes (contiguous, covering every tenant exactly once)
+/// into a FleetResult, folding in tenant-index order — the single merge
+/// path shared by run_fleet itself, its forked workers' blobs, and
+/// `janus_cli fleet --merge-slices`.  Bit-identical to an in-process run
+/// of the same config.
+FleetResult merge_fleet_slices(const FleetConfig& config,
+                               std::vector<FleetSliceOutcome> slices);
 
 /// Deterministic heterogeneous tenant catalog used by the CLI and the
 /// fleet benches: alternates IA/VA, staggers rates around `base_rate`,

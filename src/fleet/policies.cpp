@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iterator>
 #include <utility>
 
 #include "adapter/adapter.hpp"
@@ -95,12 +97,52 @@ const std::vector<LatencyProfile>& PolicyCatalog::profiles(
       .first->second;
 }
 
+std::string hints_bundle_filename(const std::string& workload,
+                                  Concurrency conc, Exploration exploration,
+                                  std::size_t suffix) {
+  return workload + "_c" + std::to_string(conc) + "_" +
+         to_string(exploration) + "_suffix" + std::to_string(suffix) +
+         ".csv";
+}
+
 std::shared_ptr<const HintsBundle> PolicyCatalog::bundle(
     const WorkloadSpec& workload, Concurrency conc, Exploration exploration) {
   const auto key =
       std::make_tuple(workload.name, conc, static_cast<int>(exploration));
   auto it = bundles_.find(key);
   if (it != bundles_.end()) return it->second;
+  if (!config_.hints_dir.empty()) {
+    // Cross-process reuse: committed tables (canonical filenames) replace
+    // synthesis.  The CSV round trip is exact, so a loaded bundle is the
+    // synthesized bundle bit-for-bit.
+    std::vector<HintsTable> tables;
+    for (std::size_t j = 0;; ++j) {
+      std::ifstream in(config_.hints_dir + "/" +
+                           hints_bundle_filename(workload.name, conc,
+                                                 exploration, j),
+                       std::ios::binary);
+      if (!in) break;
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      tables.push_back(HintsTable::from_csv(text));
+    }
+    if (!tables.empty()) {
+      if (tables.size() != workload.chain_models().size()) {
+        throw_invalid("hints dir holds a partial bundle for workload '" +
+                      workload.name + "' (one CSV per suffix required)");
+      }
+      ++stats_.bundles_loaded;
+      log_info("catalog: loaded hints for workload '", workload.name,
+               "' @conc=", conc, " from ", config_.hints_dir);
+      // janus-lint: allow(mutable-hints-bundle) construction staging only —
+      // frozen into a shared_ptr<const HintsBundle> two lines down.
+      HintsBundle loaded;
+      loaded.suffix_tables = std::move(tables);
+      loaded.concurrency = conc;
+      auto built = std::make_shared<const HintsBundle>(std::move(loaded));
+      return bundles_.emplace(key, std::move(built)).first->second;
+    }
+  }
   SynthesisConfig synth;
   synth.kmin = config_.kmin;
   synth.kmax = config_.kmax;

@@ -73,6 +73,15 @@ struct PolicyCatalogConfig {
   Millicores kstep = kDefaultKstep;
   /// Per-remaining-stage safety margin for Janus (JanusPolicy default).
   Seconds janus_safety_margin = 0.012;
+  /// Directory of committed hints tables (canonical filenames from
+  /// hints_bundle_filename, as written by `janus_cli synthesize`).  When
+  /// non-empty, bundle() loads matching tables from disk instead of
+  /// synthesizing — the cross-process reuse path: one synthesis run (or a
+  /// committed artifact) feeds any number of fleet processes.  The CSV
+  /// round trip is exact (integer fields), so a loaded bundle yields
+  /// bit-identical fleet results.  Workloads without a complete committed
+  /// bundle fall back to in-process synthesis.
+  std::string hints_dir;
 };
 
 /// What the catalog has built so far (tests assert the share-once
@@ -80,8 +89,18 @@ struct PolicyCatalogConfig {
 struct PolicyCatalogStats {
   int profiles_built = 0;
   int bundles_built = 0;
+  /// Bundles loaded from PolicyCatalogConfig::hints_dir (no synthesis).
+  int bundles_loaded = 0;
   int orion_solved = 0;
 };
+
+/// Canonical hints-table filename for suffix table `suffix` of (workload,
+/// concurrency, exploration) — shared by `janus_cli synthesize` (writer)
+/// and PolicyCatalogConfig::hints_dir (reader), so the two can never
+/// disagree: "<workload>_c<conc>_<exploration>_suffix<j>.csv".
+std::string hints_bundle_filename(const std::string& workload,
+                                  Concurrency conc, Exploration exploration,
+                                  std::size_t suffix);
 
 class PolicyCatalog {
  public:

@@ -1,0 +1,340 @@
+#include "stats/codec.hpp"
+
+#include <cstring>
+
+namespace janus::codec {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  for (char c : s) u8(static_cast<std::uint8_t>(c));
+}
+
+std::uint8_t ByteReader::u8() {
+  require(at_ < size_, "codec: read past end of stream");
+  return data_[at_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  const std::uint16_t lo = u8();
+  return static_cast<std::uint16_t>(lo | (std::uint16_t{u8()} << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  return lo | (std::uint32_t{u16()} << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  return lo | (std::uint64_t{u32()} << 32);
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  require(n <= remaining(), "codec: string length past end of stream");
+  std::string s;
+  s.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) s.push_back(static_cast<char>(u8()));
+  return s;
+}
+
+void write_header(ByteWriter& w) {
+  w.u32(kMagic);
+  w.u16(kCodecVersion);
+}
+
+void read_header(ByteReader& r) {
+  require(r.u32() == kMagic, "codec: bad magic (not a janus metrics stream)");
+  require(r.u16() == kCodecVersion,
+          "codec: unsupported metrics stream version");
+}
+
+// Per-record tags catch producer/consumer sequencing bugs (decoding a
+// histogram where a distribution was written) without a schema language.
+namespace {
+enum Tag : std::uint8_t {
+  kTagEmpirical = 1,
+  kTagHistogram = 2,
+  kTagObsCounters = 3,
+  kTagEpoch = 4,
+  kTagTimelineRow = 5,
+  kTagSpan = 6,
+};
+
+void expect_tag(ByteReader& r, Tag tag) {
+  require(r.u8() == tag, "codec: unexpected record tag");
+}
+}  // namespace
+
+void encode(ByteWriter& w, const EmpiricalDistribution& d) {
+  w.u8(kTagEmpirical);
+  const auto& samples = d.sorted_samples();
+  w.u64(samples.size());
+  for (double s : samples) w.f64(s);
+  w.f64(d.moment_mean());
+  w.f64(d.moment_m2());
+}
+
+EmpiricalDistribution decode_empirical(ByteReader& r) {
+  expect_tag(r, kTagEmpirical);
+  const std::uint64_t n = r.u64();
+  require(n * sizeof(double) <= r.remaining(),
+          "codec: sample count past end of stream");
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) samples.push_back(r.f64());
+  const double mean = r.f64();
+  const double m2 = r.f64();
+  return EmpiricalDistribution::from_sorted(std::move(samples), mean, m2);
+}
+
+void encode(ByteWriter& w, const Histogram& h) {
+  w.u8(kTagHistogram);
+  w.f64(h.lo());
+  w.f64(h.hi());
+  w.u64(h.bins());
+  for (std::size_t i = 0; i < h.bins(); ++i) w.u64(h.bin_count(i));
+  w.u64(h.underflow());
+  w.u64(h.overflow());
+  w.u64(h.total());
+}
+
+Histogram decode_histogram(ByteReader& r) {
+  expect_tag(r, kTagHistogram);
+  const double lo = r.f64();
+  const double hi = r.f64();
+  const std::uint64_t bins = r.u64();
+  require(bins * sizeof(std::uint64_t) <= r.remaining(),
+          "codec: bin count past end of stream");
+  std::vector<std::size_t> counts;
+  counts.reserve(static_cast<std::size_t>(bins));
+  for (std::uint64_t i = 0; i < bins; ++i) {
+    counts.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  const auto underflow = static_cast<std::size_t>(r.u64());
+  const auto overflow = static_cast<std::size_t>(r.u64());
+  const auto total = static_cast<std::size_t>(r.u64());
+  return Histogram::from_parts(lo, hi, std::move(counts), underflow, overflow,
+                               total);
+}
+
+void encode(ByteWriter& w, const ObsCounters& c) {
+  w.u8(kTagObsCounters);
+  w.u64(c.invocations);
+  w.u64(c.cold_starts);
+  w.u64(c.queued);
+  w.u64(c.spans_recorded);
+  w.u64(c.spans_dropped);
+}
+
+ObsCounters decode_obs_counters(ByteReader& r) {
+  expect_tag(r, kTagObsCounters);
+  ObsCounters c;
+  c.invocations = r.u64();
+  c.cold_starts = r.u64();
+  c.queued = r.u64();
+  c.spans_recorded = r.u64();
+  c.spans_dropped = r.u64();
+  return c;
+}
+
+void encode(ByteWriter& w, const EpochSnapshot& s) {
+  w.u8(kTagEpoch);
+  w.i32(s.epoch);
+  w.f64(s.sim_time);
+  w.i32(s.nodes);
+  w.i32(s.pending_nodes);
+  w.f64(s.utilization);
+  w.i32(s.nodes_ordered);
+  w.i32(s.nodes_added);
+  w.i32(s.nodes_removed);
+  w.i32(s.groups_resized);
+  w.i32(s.displaced_pods);
+  w.i32(s.chaos.failed_nodes);
+  w.i32(s.chaos.displaced_pods);
+  w.i32(s.chaos.stranded_pods);
+  w.i32(s.chaos.preempted_pods);
+  w.f64(s.chaos.storm_multiplier);
+}
+
+EpochSnapshot decode_epoch(ByteReader& r) {
+  expect_tag(r, kTagEpoch);
+  EpochSnapshot s;
+  s.epoch = r.i32();
+  s.sim_time = r.f64();
+  s.nodes = r.i32();
+  s.pending_nodes = r.i32();
+  s.utilization = r.f64();
+  s.nodes_ordered = r.i32();
+  s.nodes_added = r.i32();
+  s.nodes_removed = r.i32();
+  s.groups_resized = r.i32();
+  s.displaced_pods = r.i32();
+  s.chaos.failed_nodes = r.i32();
+  s.chaos.displaced_pods = r.i32();
+  s.chaos.stranded_pods = r.i32();
+  s.chaos.preempted_pods = r.i32();
+  s.chaos.storm_multiplier = r.f64();
+  return s;
+}
+
+void encode(ByteWriter& w, const std::vector<EpochSnapshot>& log) {
+  w.u64(log.size());
+  for (const auto& s : log) encode(w, s);
+}
+
+std::vector<EpochSnapshot> decode_epoch_log(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  require(n <= r.remaining(), "codec: epoch count past end of stream");
+  std::vector<EpochSnapshot> log;
+  log.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) log.push_back(decode_epoch(r));
+  return log;
+}
+
+void encode(ByteWriter& w, const TimelineRow& row) {
+  w.u8(kTagTimelineRow);
+  w.i32(row.epoch);
+  w.f64(row.sim_time);
+  w.u32(row.tenant);
+  w.u16(row.stage);
+  w.i32(row.observed_peak_busy);
+  w.i32(row.allocated_pods);
+  w.i32(row.pod_mc);
+  w.f64(row.coresidency);
+  w.u64(row.completed);
+  w.u64(row.violations);
+  w.i32(row.nodes);
+  w.i32(row.nodes_ordered);
+  w.i32(row.nodes_added);
+  w.i32(row.nodes_removed);
+  w.i32(row.displaced_pods);
+  w.f64(row.utilization);
+  w.i32(row.chaos_failed_nodes);
+  w.i32(row.chaos_preempted_pods);
+  w.i32(row.chaos_stranded_pods);
+  w.f64(row.chaos_storm_mult);
+}
+
+TimelineRow decode_timeline_row(ByteReader& r) {
+  expect_tag(r, kTagTimelineRow);
+  TimelineRow row;
+  row.epoch = r.i32();
+  row.sim_time = r.f64();
+  row.tenant = r.u32();
+  row.stage = r.u16();
+  row.observed_peak_busy = r.i32();
+  row.allocated_pods = r.i32();
+  row.pod_mc = r.i32();
+  row.coresidency = r.f64();
+  row.completed = r.u64();
+  row.violations = r.u64();
+  row.nodes = r.i32();
+  row.nodes_ordered = r.i32();
+  row.nodes_added = r.i32();
+  row.nodes_removed = r.i32();
+  row.displaced_pods = r.i32();
+  row.utilization = r.f64();
+  row.chaos_failed_nodes = r.i32();
+  row.chaos_preempted_pods = r.i32();
+  row.chaos_stranded_pods = r.i32();
+  row.chaos_storm_mult = r.f64();
+  return row;
+}
+
+void encode(ByteWriter& w, const std::vector<TimelineRow>& rows) {
+  w.u64(rows.size());
+  for (const auto& row : rows) encode(w, row);
+}
+
+std::vector<TimelineRow> decode_timeline(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  require(n <= r.remaining(), "codec: row count past end of stream");
+  std::vector<TimelineRow> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) rows.push_back(decode_timeline_row(r));
+  return rows;
+}
+
+void encode(ByteWriter& w, const SpanRecord& s) {
+  w.u8(kTagSpan);
+  w.u32(s.tenant);
+  w.u32(s.request);
+  w.u16(s.stage);
+  w.u8(s.cold);
+  w.u8(s.queued);
+  w.i32(s.pod);
+  w.i32(s.node);
+  w.i32(s.colocated);
+  w.i32(s.size_mc);
+  w.f64(s.start_s);
+  w.f64(s.queued_s);
+  w.f64(s.startup_s);
+  w.f64(s.exec_s);
+  w.f64(s.interference);
+}
+
+SpanRecord decode_span(ByteReader& r) {
+  expect_tag(r, kTagSpan);
+  SpanRecord s;
+  s.tenant = r.u32();
+  s.request = r.u32();
+  s.stage = r.u16();
+  s.cold = r.u8();
+  s.queued = r.u8();
+  s.pod = r.i32();
+  s.node = r.i32();
+  s.colocated = r.i32();
+  s.size_mc = r.i32();
+  s.start_s = r.f64();
+  s.queued_s = r.f64();
+  s.startup_s = r.f64();
+  s.exec_s = r.f64();
+  s.interference = r.f64();
+  return s;
+}
+
+void encode(ByteWriter& w, const std::vector<SpanRecord>& spans) {
+  w.u64(spans.size());
+  for (const auto& s : spans) encode(w, s);
+}
+
+std::vector<SpanRecord> decode_spans(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  require(n <= r.remaining(), "codec: span count past end of stream");
+  std::vector<SpanRecord> spans;
+  spans.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) spans.push_back(decode_span(r));
+  return spans;
+}
+
+}  // namespace janus::codec

@@ -43,7 +43,21 @@ class EmpiricalDistribution {
   /// partials in any grouping.
   void merge(const EmpiricalDistribution& other);
 
+  /// Rebuilds a distribution from serialized state (codec decode path).
+  /// `sorted` must already be sorted ascending; mean/m2 are taken verbatim
+  /// so a decode(encode(d)) round-trip is bit-exact, not re-derived.
+  static EmpiricalDistribution from_sorted(std::vector<double> sorted,
+                                           double mean, double m2) {
+    EmpiricalDistribution d;
+    d.sorted_ = std::move(sorted);
+    d.mean_ = mean;
+    d.m2_ = m2;
+    return d;
+  }
+
   const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+  double moment_mean() const noexcept { return mean_; }
+  double moment_m2() const noexcept { return m2_; }
 
  private:
   std::vector<double> sorted_;

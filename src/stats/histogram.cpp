@@ -42,6 +42,40 @@ void Histogram::merge(const Histogram& other) {
   total_ += other.total_;
 }
 
+Histogram Histogram::from_parts(double lo, double hi,
+                                std::vector<std::size_t> counts,
+                                std::size_t underflow, std::size_t overflow,
+                                std::size_t total) {
+  Histogram h(lo, hi, counts.size());
+  h.counts_ = std::move(counts);
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  h.total_ = total;
+  std::size_t sum = underflow + overflow;
+  for (auto c : h.counts_) sum += c;
+  require(sum == total, "histogram parts do not sum to total");
+  return h;
+}
+
+double Histogram::percentile(double p) const {
+  require(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  require(total_ > 0, "percentile of an empty histogram");
+  // Rank in [0, total); the sample at that rank resolves to its bin,
+  // interpolated linearly by its position within the bin's count.
+  const double rank = p / 100.0 * static_cast<double>(total_ - 1);
+  double seen = static_cast<double>(underflow_);
+  if (rank < seen) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (rank < seen + c) {
+      const double frac = c > 0.0 ? (rank - seen) / c : 0.0;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
 std::size_t Histogram::bin_count(std::size_t i) const {
   require(i < counts_.size(), "histogram bin out of range");
   return counts_[i];

@@ -22,6 +22,19 @@ class Histogram {
   /// fleet aggregation can fold partial histograms in any grouping.
   void merge(const Histogram& other);
 
+  /// Rebuilds a histogram from serialized state (codec decode path).
+  /// `total` must equal underflow + overflow + Σcounts; throws otherwise.
+  static Histogram from_parts(double lo, double hi,
+                              std::vector<std::size_t> counts,
+                              std::size_t underflow, std::size_t overflow,
+                              std::size_t total);
+
+  /// Percentile with linear interpolation inside the owning bin, p in
+  /// [0, 100].  Underflow mass resolves to lo(), overflow mass to hi() —
+  /// the summary the streaming fleet reports when it has folded per-tenant
+  /// sample sets away and only bin counts survive.
+  double percentile(double p) const;
+
   double lo() const noexcept { return lo_; }
   double hi() const noexcept { return hi_; }
   std::size_t total() const noexcept { return total_; }

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Unit tests for tools/compare_bench.py — the CI wall-time gate.
+"""Unit tests for tools/compare_bench.py — the CI wall-time/RSS gate.
 
 The gate itself must be tested: a comparison script that silently stops
 failing is a CI pipeline that silently stops gating.  Covers the warn
 threshold (>20%), the fatal threshold (>35% with --fatal-pct), failed
-runs, and the --require guard for benchmarks missing from the fresh set.
+runs, the --require guard for benchmarks missing from the fresh set, and
+the peak_rss_kb memory gate (including baselines recorded before the
+field existed).
 
 Run directly (python3 tests/test_compare_bench.py) or via CTest.
 """
@@ -20,12 +22,15 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCRIPT = os.path.join(REPO, "tools", "compare_bench.py")
 
 
-def write_bench(directory, stem, wall_seconds, status="ok"):
+def write_bench(directory, stem, wall_seconds, status="ok", rss_kb=None):
     path = os.path.join(directory, f"BENCH_{stem}.json")
+    record = {"bench": f"bench_{stem}", "status": status,
+              "exit_code": 0 if status == "ok" else 1,
+              "wall_seconds": wall_seconds, "stdout": ""}
+    if rss_kb is not None:
+        record["peak_rss_kb"] = rss_kb
     with open(path, "w") as f:
-        json.dump({"bench": f"bench_{stem}", "status": status,
-                   "exit_code": 0 if status == "ok" else 1,
-                   "wall_seconds": wall_seconds, "stdout": ""}, f)
+        json.dump(record, f)
 
 
 def run_compare(base, fresh, *extra):
@@ -139,6 +144,47 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
         code, out = run_compare(self.base, self.fresh)
         self.assertEqual(code, 0, out)  # nothing to compare, nothing required
+
+    def test_rss_regression_warns_at_threshold(self):
+        # Flat wall, +30% resident memory: the warn band names the metric.
+        write_bench(self.base, "engine", 1.0, rss_kb=100000)
+        write_bench(self.fresh, "engine", 1.0, rss_kb=130000)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertIn("REGRESSION (rss >20%)", out)
+        self.assertNotIn("FATAL", out)
+
+    def test_rss_regression_past_fatal_pct_fails(self):
+        write_bench(self.base, "engine", 1.0, rss_kb=100000)
+        write_bench(self.fresh, "engine", 1.0, rss_kb=150000)  # +50%
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FATAL REGRESSION (rss >35%)", out)
+
+    def test_wall_and_rss_regressions_both_named(self):
+        write_bench(self.base, "engine", 1.0, rss_kb=100000)
+        write_bench(self.fresh, "engine", 1.5, rss_kb=150000)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FATAL REGRESSION (wall+rss >35%)", out)
+
+    def test_baseline_without_rss_skips_memory_comparison(self):
+        # Baselines recorded before peak_rss_kb existed must not fabricate
+        # a 0-KB reference (which would flag every fresh run as infinite
+        # growth); the wall gate still applies.
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.0, rss_kb=130000)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSION", out)
+        self.assertIn("n/a", out)
+
+    def test_rss_improvement_is_not_a_regression(self):
+        write_bench(self.base, "engine", 1.0, rss_kb=200000)
+        write_bench(self.fresh, "engine", 1.0, rss_kb=100000)
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSION", out)
 
     def test_unreadable_fresh_json_is_skipped_not_crashed(self):
         write_bench(self.base, "engine", 1.0)

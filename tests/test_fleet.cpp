@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -927,6 +929,203 @@ TEST(FleetPolicies, ContentionAwareScalesWithCoresidency) {
                std::invalid_argument);
   EXPECT_THROW(ContentionAwarePolicy(base(), packed, -0.1),
                std::invalid_argument);
+}
+
+// ------------------------------------------------- process sharding --
+void expect_fleet_equal(const FleetResult& one, const FleetResult& many) {
+  ASSERT_EQ(many.tenants.size(), one.tenants.size());
+  for (std::size_t t = 0; t < one.tenants.size(); ++t) {
+    EXPECT_EQ(one.tenants[t].e2e.sorted_samples(),
+              many.tenants[t].e2e.sorted_samples())
+        << "tenant " << t;
+    EXPECT_DOUBLE_EQ(one.tenants[t].violation_rate,
+                     many.tenants[t].violation_rate);
+    EXPECT_DOUBLE_EQ(one.tenants[t].mean_cpu_mc, many.tenants[t].mean_cpu_mc);
+    EXPECT_DOUBLE_EQ(one.tenants[t].coresidency, many.tenants[t].coresidency);
+  }
+  EXPECT_EQ(one.fleet_e2e.sorted_samples(), many.fleet_e2e.sorted_samples());
+  EXPECT_DOUBLE_EQ(one.fleet_p99, many.fleet_p99);
+  EXPECT_DOUBLE_EQ(one.fleet_violation_rate, many.fleet_violation_rate);
+  EXPECT_DOUBLE_EQ(one.fleet_mean_cpu_mc, many.fleet_mean_cpu_mc);
+  EXPECT_EQ(one.obs.events_executed, many.obs.events_executed);
+  EXPECT_EQ(one.obs.counters.invocations, many.obs.counters.invocations);
+  EXPECT_EQ(one.obs.counters.cold_starts, many.obs.counters.cold_starts);
+  EXPECT_EQ(one.epochs, many.epochs);
+  EXPECT_EQ(one.final_nodes, many.final_nodes);
+  EXPECT_EQ(one.nodes_added, many.nodes_added);
+  ASSERT_EQ(one.epoch_log.size(), many.epoch_log.size());
+  for (std::size_t e = 0; e < one.epoch_log.size(); ++e) {
+    EXPECT_EQ(one.epoch_log[e].nodes, many.epoch_log[e].nodes);
+    EXPECT_EQ(one.epoch_log[e].groups_resized,
+              many.epoch_log[e].groups_resized);
+    EXPECT_DOUBLE_EQ(one.epoch_log[e].utilization,
+                     many.epoch_log[e].utilization);
+  }
+  ASSERT_EQ(one.obs.timeline.size(), many.obs.timeline.size());
+  for (std::size_t i = 0; i < one.obs.timeline.size(); ++i) {
+    EXPECT_EQ(one.obs.timeline[i].tenant, many.obs.timeline[i].tenant);
+    EXPECT_EQ(one.obs.timeline[i].epoch, many.obs.timeline[i].epoch);
+    EXPECT_EQ(one.obs.timeline[i].stage, many.obs.timeline[i].stage);
+    EXPECT_EQ(one.obs.timeline[i].observed_peak_busy,
+              many.obs.timeline[i].observed_peak_busy);
+    EXPECT_EQ(one.obs.timeline[i].allocated_pods,
+              many.obs.timeline[i].allocated_pods);
+    EXPECT_EQ(one.obs.timeline[i].completed, many.obs.timeline[i].completed);
+    EXPECT_EQ(one.obs.timeline[i].violations,
+              many.obs.timeline[i].violations);
+  }
+}
+
+TEST(Fleet, MultiProcessBitIdenticalStaticAndLive) {
+  // Forked workers own tenant slices; the merged result must carry the
+  // same bits as the in-process run — on the static path (no barriers)
+  // and on the live path (pipe-coordinated barriers, every worker
+  // reconciling the identical observation matrix).
+  for (const bool live : {false, true}) {
+    FleetConfig config = small_fleet(2);
+    if (live) {
+      config.epoch_s = 5.0;
+      config.autoscale.enabled = true;
+      config.obs.timeline = true;
+    }
+    const FleetResult one = run_fleet(config);
+    for (int processes : {2, 3, 5}) {
+      config.processes = processes;
+      const FleetResult many = run_fleet(config);
+      EXPECT_EQ(many.processes, processes);
+      expect_fleet_equal(one, many);
+    }
+  }
+}
+
+TEST(Fleet, SliceWorkersAndMergeMatchWholeRun) {
+  // File-based sharding: independent run_fleet_slice calls (each plans
+  // the whole fleet, simulates a slice), blobs through the codec, one
+  // merge — bit-identical to run_fleet.
+  const FleetConfig config = small_fleet(2);
+  const FleetResult whole = run_fleet(config);
+  std::vector<FleetSliceOutcome> slices;
+  slices.push_back(decode_slice(encode_slice(run_fleet_slice(config, 0, 2))));
+  slices.push_back(decode_slice(encode_slice(run_fleet_slice(config, 2, 5))));
+  const FleetResult merged = merge_fleet_slices(config, std::move(slices));
+  expect_fleet_equal(whole, merged);
+
+  // Gaps, overlaps, or a foreign seed must be rejected.
+  std::vector<FleetSliceOutcome> gap;
+  gap.push_back(run_fleet_slice(config, 0, 2));
+  gap.push_back(run_fleet_slice(config, 3, 5));
+  EXPECT_THROW(merge_fleet_slices(config, std::move(gap)),
+               std::invalid_argument);
+  FleetConfig other = config;
+  other.seed = config.seed + 1;
+  std::vector<FleetSliceOutcome> foreign;
+  foreign.push_back(run_fleet_slice(other, 0, 5));
+  EXPECT_THROW(merge_fleet_slices(config, std::move(foreign)),
+               std::invalid_argument);
+  // Live barriers need the fork path's coordination channel.
+  FleetConfig live = config;
+  live.epoch_s = 5.0;
+  EXPECT_THROW(run_fleet_slice(live, 0, 2), std::invalid_argument);
+}
+
+TEST(Fleet, StreamingMergeKeepsScalarMetricsBitIdentical) {
+  // The streaming fold drops per-tenant rows and exact order statistics;
+  // everything else — totals, rates, histogram, control plane, counters,
+  // timeline — must match the default path exactly, at any process count.
+  FleetConfig config = small_fleet(2);
+  config.epoch_s = 5.0;
+  config.autoscale.enabled = true;
+  config.obs.timeline = true;
+  const FleetResult dense = run_fleet(config);
+  for (int processes : {1, 2}) {
+    config.processes = processes;
+    config.stream_metrics = true;
+    const FleetResult lean = run_fleet(config);
+    EXPECT_TRUE(lean.streamed);
+    EXPECT_TRUE(lean.tenants.empty());
+    EXPECT_EQ(lean.fleet_e2e.size(), 0u);
+    EXPECT_EQ(lean.total_requests, dense.total_requests);
+    EXPECT_DOUBLE_EQ(lean.fleet_violation_rate, dense.fleet_violation_rate);
+    EXPECT_DOUBLE_EQ(lean.fleet_mean_cpu_mc, dense.fleet_mean_cpu_mc);
+    ASSERT_EQ(lean.fleet_hist.bins(), dense.fleet_hist.bins());
+    for (std::size_t i = 0; i < dense.fleet_hist.bins(); ++i) {
+      EXPECT_EQ(lean.fleet_hist.bin_count(i), dense.fleet_hist.bin_count(i));
+    }
+    EXPECT_EQ(lean.obs.counters.invocations, dense.obs.counters.invocations);
+    EXPECT_EQ(lean.obs.events_executed, dense.obs.events_executed);
+    EXPECT_EQ(lean.epochs, dense.epochs);
+    EXPECT_EQ(lean.final_nodes, dense.final_nodes);
+    ASSERT_EQ(lean.epoch_log.size(), dense.epoch_log.size());
+    ASSERT_EQ(lean.obs.timeline.size(), dense.obs.timeline.size());
+    // Histogram-interpolated percentiles sit inside the right bin.
+    EXPECT_NEAR(lean.fleet_p50, dense.fleet_p50,
+                (config.hist_max_s / static_cast<double>(config.hist_bins)));
+  }
+}
+
+TEST(Fleet, ProcessAndStreamValidation) {
+  FleetConfig config = small_fleet(1);
+  config.processes = 0;
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config.processes = 99;  // more processes than tenants
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config.processes = 1;
+  config.stream_metrics = true;
+  config.obs.trace = true;  // streaming releases the state tracing needs
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+}
+
+TEST(FleetPolicies, CatalogLoadsCommittedHintsBundles) {
+  // Cross-process hints reuse: tables written with the canonical
+  // filenames load instead of synthesizing, and — because the CSV round
+  // trip is exact — produce bit-identical fleet results.
+  PolicyCatalog source(tiny_catalog_config());
+  const WorkloadSpec ia = make_ia();
+  const auto bundle = source.bundle(ia, 1, Exploration::HeadOnly);
+  const std::string dir = ::testing::TempDir();
+  for (std::size_t j = 0; j < bundle->suffix_tables.size(); ++j) {
+    std::ofstream out(
+        dir + "/" + hints_bundle_filename(ia.name, 1, Exploration::HeadOnly, j),
+        std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out << bundle->suffix_tables[j].to_csv();
+  }
+
+  PolicyCatalogConfig loading = tiny_catalog_config();
+  loading.hints_dir = dir;
+  PolicyCatalog loader(loading);
+  const auto loaded = loader.bundle(ia, 1, Exploration::HeadOnly);
+  EXPECT_EQ(loader.stats().bundles_loaded, 1);
+  EXPECT_EQ(loader.stats().bundles_built, 0);
+  EXPECT_EQ(loader.stats().profiles_built, 0);  // loading skips profiling
+  ASSERT_EQ(loaded->suffix_tables.size(), bundle->suffix_tables.size());
+  for (std::size_t j = 0; j < bundle->suffix_tables.size(); ++j) {
+    EXPECT_EQ(loaded->suffix_tables[j].to_csv(),
+              bundle->suffix_tables[j].to_csv());
+  }
+
+  // An all-janus IA fleet through each catalog: identical results.
+  FleetConfig config;
+  config.tenants = make_tenant_mix(3, 120, 8.0, ArrivalKind::Poisson, false,
+                                   {"janus"});
+  for (auto& tenant : config.tenants) tenant.workload = "ia";
+  config.seed = 31;
+  PolicyCatalog synth_cat(tiny_catalog_config());
+  PolicyCatalog load_cat(loading);
+  FleetConfig a = config;
+  a.catalog = &synth_cat;
+  FleetConfig b = config;
+  b.catalog = &load_cat;
+  const FleetResult synth_run = run_fleet(a);
+  const FleetResult load_run = run_fleet(b);
+  expect_fleet_equal(synth_run, load_run);
+  EXPECT_EQ(load_cat.stats().bundles_loaded, 1);
+  EXPECT_EQ(load_cat.stats().bundles_built, 0);
+
+  // A workload with no committed tables still synthesizes (fallback).
+  const WorkloadSpec va = make_va();
+  (void)load_cat.bundle(va, 1, Exploration::HeadOnly);
+  EXPECT_EQ(load_cat.stats().bundles_built, 1);
 }
 
 TEST(FleetPolicies, HeterogeneousPodSizesPackPerStage) {

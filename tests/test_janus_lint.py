@@ -235,6 +235,18 @@ class TestDriver(unittest.TestCase):
             "hot-path-obs-guard", "hot-path-std-function",
             "mutable-hints-bundle", "ref-capture-event"})
 
+    def test_arena_hot_path_is_in_scope_and_clean(self):
+        # The arena's JANUS_HOT bump path (src/common/arena.hpp) must stay
+        # under the hot-path checks: placement-new construction and cursor
+        # math only, with block growth isolated in the cold grow() path.
+        # Linting the real header (not a fixture) keeps the six-figure-
+        # tenant allocator honest as it evolves.
+        code, out, err = run_lint(
+            "--lint-file", os.path.join(REPO, "src", "common", "arena.hpp"),
+            "--as-path", "src/common/arena.hpp")
+        self.assertEqual(out, "", err)
+        self.assertEqual(code, 0)
+
     def test_whole_tree_is_clean(self):
         # The gate ci/lint.sh enforces, as a CTest suite: src/ lints
         # clean against the committed (empty) baseline.

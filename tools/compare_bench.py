@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Diff fresh BENCH_*.json artifacts against the committed baselines.
 
-Compares wall_seconds for every benchmark present in BOTH directories and
-flags regressions beyond the threshold (default 20% slower).  Exit code is
+Compares wall_seconds AND peak_rss_kb for every benchmark present in BOTH
+directories and flags regressions beyond the threshold (default 20%
+slower / 20% more resident memory).  Baselines recorded before peak_rss_kb
+existed (or with a zero reading) skip the memory comparison.  Exit code is
 0 unless either fatal gate trips:
 
   * --fatal: any regression past --threshold (or a failed run) exits 1;
@@ -50,7 +52,7 @@ def load_dir(path):
 def main():
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     parser = argparse.ArgumentParser(
-        description="wall-time diff of BENCH_*.json vs committed baselines")
+        description="wall-time and peak-RSS diff of BENCH_*.json vs committed baselines")
     parser.add_argument("--fresh", default=".",
                         help="directory with freshly emitted BENCH_*.json")
     parser.add_argument("--baselines",
@@ -91,31 +93,49 @@ def main():
     regressions = []
     fatal = []
     print(f"{'benchmark':<28} {'base (s)':>9} {'fresh (s)':>9} "
-          f"{'delta':>8}  status")
-    print("-" * 66)
+          f"{'delta':>8} {'base rss':>9} {'fresh rss':>9} {'rss':>8}  status")
+    print("-" * 96)
     for name in common:
         b, f = base[name], fresh[name]
         bw, fw = b.get("wall_seconds", 0.0), f.get("wall_seconds", 0.0)
         delta = (fw - bw) / bw * 100.0 if bw > 0 else 0.0
+        # peak_rss_kb gates like wall_seconds; a baseline recorded before
+        # the field existed (or with a zero reading) skips the comparison
+        # rather than fabricating a 0-KB reference.
+        brss, frss = b.get("peak_rss_kb", 0), f.get("peak_rss_kb", 0)
+        rss_delta = ((frss - brss) / brss * 100.0
+                     if brss and frss else None)
         status = "ok"
         if f.get("status") != "ok":
             status = "FAILED RUN"
             regressions.append(name)
             fatal.append(name)
-        elif args.fatal_pct is not None and delta > args.fatal_pct:
+        else:
             # Checked before the warn threshold so a --fatal-pct below
             # --threshold still gates (the warn band is informational,
             # the fatal band is the contract).
-            status = f"FATAL REGRESSION (>{args.fatal_pct:.0f}%)"
-            regressions.append(name)
-            fatal.append(name)
-        elif delta > args.threshold:
-            status = f"REGRESSION (>{args.threshold:.0f}%)"
-            regressions.append(name)
-        elif delta < -args.threshold:
-            status = "improvement"
+            fatal_metrics = [m for m, d in (("wall", delta),
+                                            ("rss", rss_delta))
+                             if args.fatal_pct is not None
+                             and d is not None and d > args.fatal_pct]
+            warn_metrics = [m for m, d in (("wall", delta),
+                                           ("rss", rss_delta))
+                           if d is not None and d > args.threshold]
+            if fatal_metrics:
+                status = (f"FATAL REGRESSION ({'+'.join(fatal_metrics)} "
+                          f">{args.fatal_pct:.0f}%)")
+                regressions.append(name)
+                fatal.append(name)
+            elif warn_metrics:
+                status = (f"REGRESSION ({'+'.join(warn_metrics)} "
+                          f">{args.threshold:.0f}%)")
+                regressions.append(name)
+            elif delta < -args.threshold:
+                status = "improvement"
         stem = name[len("BENCH_"):-len(".json")]
-        print(f"{stem:<28} {bw:>9.3f} {fw:>9.3f} {delta:>+7.1f}%  {status}")
+        rss_col = f"{rss_delta:>+7.1f}%" if rss_delta is not None else "     n/a"
+        print(f"{stem:<28} {bw:>9.3f} {fw:>9.3f} {delta:>+7.1f}% "
+              f"{brss or 0:>9} {frss or 0:>9} {rss_col}  {status}")
 
     skipped = sorted(set(base) - set(fresh))
     if skipped:
@@ -127,7 +147,7 @@ def main():
               f"{', '.join(n[6:-5] for n in unbaselined)} "
               f"(commit one under bench/baselines/)")
     if regressions:
-        print(f"compare_bench: {len(regressions)} wall-time regression(s)",
+        print(f"compare_bench: {len(regressions)} regression(s)",
               file=sys.stderr)
         if args.fatal:
             return 1

@@ -66,6 +66,21 @@ int usage(std::FILE* out = stderr) {
       "  --tenants N     tenant count (default 8)\n"
       "  --requests N    requests per tenant (default 1000)\n"
       "  --shards N      simulation shards / threads (default 4)\n"
+      "  --processes N   fork N worker processes, each owning a contiguous\n"
+      "                  tenant slice with its own --shards engines;\n"
+      "                  results are bit-identical to --processes 1\n"
+      "                  (default 1; requires chaos off)\n"
+      "  --stream        streaming merge: fold each tenant's metrics the\n"
+      "                  moment it completes and free its state — memory\n"
+      "                  stays O(active tenants).  Per-tenant rows are\n"
+      "                  dropped and fleet p50/p99 come from the merged\n"
+      "                  histogram; every other metric is bit-identical\n"
+      "  --conc N[,N..]  per-request concurrency, dealt round-robin over\n"
+      "                  the tenants and clamped to each workload's\n"
+      "                  batching ceiling (default 1)\n"
+      "  --hints-dir D   load committed hints tables from D (written by\n"
+      "                  `janus_cli synthesize`) instead of synthesizing\n"
+      "                  in-process; missing tables still synthesize\n"
       "  --seed N        fleet seed; fixes every metric bit-for-bit\n"
       "  --rate R        base arrival rate, requests/s (default 10)\n"
       "  --arrivals K    poisson|mmpp|diurnal|trace|mixed (default mixed)\n"
@@ -118,6 +133,17 @@ int usage(std::FILE* out = stderr) {
       "                  [T0, T1) sim-seconds (composes with every\n"
       "                  --arrivals kind; cannot be combined with --chaos\n"
       "                  flash, which schedules its own windows)\n"
+      "  --shard-slice LO:HI\n"
+      "                  worker mode: plan the whole fleet but simulate\n"
+      "                  only tenants [LO, HI) and write the slice blob to\n"
+      "                  --result-bin (static path only; see\n"
+      "                  --merge-slices)\n"
+      "  --result-bin P  slice blob output path (needs --shard-slice)\n"
+      "  --merge-slices P\n"
+      "                  repeatable: decode the named slice blobs and\n"
+      "                  merge them (under this command line's fleet\n"
+      "                  config) into the ordinary fleet report —\n"
+      "                  bit-identical to an in-process run\n"
       "  --json          machine-readable result on stdout\n"
       "\n"
       "global flags:\n"
@@ -140,6 +166,13 @@ struct Flags {
   int tenants = 8;
   int requests = 1000;  // per tenant; any explicit non-positive value errors
   int shards = 4;
+  int processes = 1;
+  bool stream = false;
+  std::string conc;         // per-tenant concurrency list; empty = all 1
+  std::string hints_dir;    // committed hints CSVs; empty = synthesize
+  std::string shard_slice;  // "LO:HI" worker range; empty = whole fleet
+  std::string result_bin;   // slice blob output path (with --shard-slice)
+  std::vector<std::string> merge_slices;  // slice blobs to merge
   double rate = 10.0;
   std::string arrivals = "mixed";
   std::string trace;  // CSV path or "synth"; empty = no trace replay
@@ -268,6 +301,21 @@ bool parse_flags(int argc, char** argv, int first, Flags& flags,
       flags.requests = parse_int(value("--requests"), "--requests");
     } else if (arg == "--shards") {
       flags.shards = parse_int(value("--shards"), "--shards");
+    } else if (arg == "--processes") {
+      flags.processes = parse_int(value("--processes"), "--processes");
+    } else if (arg == "--stream") {
+      flags.stream = true;
+    } else if (arg == "--conc") {
+      flags.conc = value("--conc");
+    } else if (arg == "--hints-dir") {
+      flags.hints_dir = value("--hints-dir");
+    } else if (arg == "--shard-slice") {
+      flags.shard_slice = value("--shard-slice");
+    } else if (arg == "--result-bin") {
+      flags.result_bin = value("--result-bin");
+    } else if (arg == "--merge-slices") {
+      // Repeatable: --merge-slices a.bin --merge-slices b.bin ...
+      flags.merge_slices.push_back(value("--merge-slices"));
     } else if (arg == "--rate") {
       flags.rate = parse_double(value("--rate"), "--rate");
     } else if (arg == "--arrivals") {
@@ -361,9 +409,13 @@ int cmd_synthesize(const std::string& name, const std::string& dir,
   std::printf("synthesized %zu raw -> %zu condensed hints in %.2fs\n",
               bundle.stats.raw_hints, bundle.stats.condensed_hints,
               bundle.stats.elapsed_s);
+  // Canonical filenames (hints_bundle_filename) so a fleet run can load
+  // the committed tables back with `fleet --hints-dir <out-dir>` instead
+  // of re-synthesizing in every process.
   for (std::size_t j = 0; j < bundle.suffix_tables.size(); ++j) {
-    write_text(dir + "/" + workload.name + "_hints_suffix" +
-                   std::to_string(j) + ".csv",
+    write_text(dir + "/" +
+                   hints_bundle_filename(workload.name, conc,
+                                         config.exploration, j),
                bundle.suffix_tables[j].to_csv());
   }
   return 0;
@@ -489,6 +541,47 @@ std::vector<std::string> parse_policies(const std::string& text) {
   return out;
 }
 
+/// Splits "--conc 1,4,8" into per-tenant concurrency levels (each >= 1),
+/// dealt round-robin like --policy.
+std::vector<Concurrency> parse_concs(const std::string& text) {
+  std::vector<Concurrency> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string cur = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    const int conc = parse_int(cur, "--conc");
+    if (conc < 1) throw_invalid("--conc levels must be >= 1: " + cur);
+    out.push_back(conc);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Parses "--shard-slice LO:HI" into a half-open tenant range.
+std::pair<std::size_t, std::size_t> parse_slice(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    throw_invalid("--shard-slice expects LO:HI (half-open tenant range): " +
+                  text);
+  }
+  const int lo = parse_int(text.substr(0, colon), "--shard-slice LO");
+  const int hi = parse_int(text.substr(colon + 1), "--shard-slice HI");
+  if (lo < 0 || hi <= lo) {
+    throw_invalid("--shard-slice expects 0 <= LO < HI: " + text);
+  }
+  return {static_cast<std::size_t>(lo), static_cast<std::size_t>(hi)};
+}
+
+std::vector<std::uint8_t> read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_invalid("cannot open slice blob: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
 int cmd_fleet(const Flags& flags) {
   FleetConfig config;
   const bool mixed = flags.arrivals == "mixed";
@@ -532,6 +625,17 @@ int cmd_fleet(const Flags& flags) {
       tenant.contention_alpha = flags.contention_alpha;
     }
   }
+  if (!flags.conc.empty()) {
+    const std::vector<Concurrency> concs = parse_concs(flags.conc);
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+      // Clamp to the workload's batching ceiling (VA's FE/ICO stages are
+      // non-batchable, so a mixed sweep would otherwise be unrunnable).
+      config.tenants[t].concurrency =
+          std::min(concs[t % concs.size()],
+                   workload_by_name(config.tenants[t].workload)
+                       .max_concurrency);
+    }
+  }
   if (!flags.trace.empty()) {
     // Every tenant replays the same recorded rhythm, rescaled to its own
     // staggered rate so the mix stays heterogeneous.
@@ -548,6 +652,9 @@ int cmd_fleet(const Flags& flags) {
     }
   }
   config.shards = flags.shards;
+  config.processes = flags.processes;
+  config.stream_metrics = flags.stream;
+  config.policy_catalog.hints_dir = flags.hints_dir;
   config.seed = flags.seed;
   config.cluster.nodes = flags.nodes;
   config.cluster.node_capacity_mc = flags.node_mc;
@@ -615,7 +722,48 @@ int cmd_fleet(const Flags& flags) {
   config.obs.trace = !flags.trace_out.empty();
   config.obs.timeline = !flags.obs_timeline.empty();
   config.obs.sample_every = flags.obs_sample;
-  const FleetResult result = run_fleet(config);
+  if (!flags.shard_slice.empty() && !flags.merge_slices.empty()) {
+    throw_invalid("--shard-slice (produce a blob) and --merge-slices "
+                  "(consume blobs) are different modes; pick one");
+  }
+  if (!flags.shard_slice.empty()) {
+    // Worker mode: one slice, one binary blob, no report.  The report
+    // flags belong to the merge step.
+    if (flags.result_bin.empty()) {
+      throw_invalid("--shard-slice needs --result-bin <path>");
+    }
+    if (flags.json || !flags.trace_out.empty() ||
+        !flags.obs_timeline.empty()) {
+      throw_invalid("--shard-slice writes a binary slice blob; --json / "
+                    "--trace-out / --obs-timeline apply to --merge-slices");
+    }
+    const auto [lo, hi] = parse_slice(flags.shard_slice);
+    const FleetSliceOutcome slice = run_fleet_slice(config, lo, hi);
+    const std::vector<std::uint8_t> blob = encode_slice(slice);
+    std::ofstream out(flags.result_bin, std::ios::binary);
+    if (!out) throw_invalid("cannot open for write: " + flags.result_bin);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out.good()) throw_invalid("short write: " + flags.result_bin);
+    std::fprintf(stderr, "janus_cli: wrote slice [%zu, %zu) to %s (%zu "
+                 "bytes)\n",
+                 lo, hi, flags.result_bin.c_str(), blob.size());
+    return 0;
+  }
+  if (!flags.result_bin.empty()) {
+    throw_invalid("--result-bin needs --shard-slice");
+  }
+  FleetResult result;
+  if (!flags.merge_slices.empty()) {
+    std::vector<FleetSliceOutcome> slices;
+    slices.reserve(flags.merge_slices.size());
+    for (const std::string& path : flags.merge_slices) {
+      slices.push_back(decode_slice(read_binary(path)));
+    }
+    result = merge_fleet_slices(config, std::move(slices));
+  } else {
+    result = run_fleet(config);
+  }
   if (!flags.trace_out.empty()) {
     write_artifact(flags.trace_out, "--trace-out",
                    trace_to_chrome_json(result.obs.spans),
@@ -707,6 +855,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "fleet" && pos.empty()) {
       if (!flags_allowed(flags, {"--tenants", "--requests", "--shards",
+                                 "--processes", "--stream", "--conc",
+                                 "--hints-dir", "--shard-slice",
+                                 "--result-bin", "--merge-slices",
                                  "--seed", "--rate", "--arrivals", "--trace",
                                  "--nodes", "--node-mc", "--epoch-s",
                                  "--autoscale", "--policy",
