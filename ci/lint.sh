@@ -32,6 +32,9 @@ python3 tools/janus_lint.py --engine tokens \
   --compile-commands "$BUILD_DIR/compile_commands.json" \
   --baseline tools/lint_baseline.txt
 
+echo "== lint: check_docs (markdown links + CLI references) =="
+python3 tools/check_docs.py
+
 case "$LINT_TIDY" in
   0)
     echo "== lint: clang-tidy skipped (LINT_TIDY=0) =="

@@ -15,8 +15,9 @@
 #     -fsanitize=thread in build-thread/ and rerun.  TSAN=0 skips.
 #   * Bench report — the fast benchmarks with committed baselines
 #     (fleet_scale, engine, autoscale, policy_mix, obs_overhead, chaos,
-#     plus a reduced-size fleet_huge) run once and
-#     tools/compare_bench.py diffs their wall times and peak RSS against
+#     frontier, plus a reduced-size fleet_huge) run once and
+#     tools/compare_bench.py diffs their wall times, peak RSS, and
+#     sustainable-rps knees (bench_frontier's gate lines) against
 #     bench/baselines/, flagging >20% regressions as warnings and failing
 #     the build past BENCH_FATAL_PCT=35 (far beyond scheduler noise), on a
 #     benchmark that exits nonzero, or on one missing from the fresh set
@@ -78,11 +79,11 @@ if [[ -z "$SANITIZE" ]]; then
     BUILD_DIR="$BUILD_DIR" ci/lint.sh
   fi
   if [[ "${TSAN:-1}" != "0" ]]; then
-    echo "== verify: ThreadSanitizer pass (fleet/common/sim/obs/chaos suites) =="
+    echo "== verify: ThreadSanitizer pass (fleet/common/sim/obs/chaos/frontier suites) =="
     cmake -B build-thread -S . -DJANUS_SANITIZE=thread
     cmake --build build-thread -j --target test_fleet test_common test_sim \
-      test_obs test_chaos
-    (cd build-thread && ctest -R 'test_(fleet|common|sim|obs|chaos)' \
+      test_obs test_chaos test_frontier
+    (cd build-thread && ctest -R 'test_(fleet|common|sim|obs|chaos|frontier)' \
        --output-on-failure -j)
   fi
   if [[ "${BENCH:-1}" != "0" ]]; then
@@ -102,10 +103,14 @@ if [[ -z "$SANITIZE" ]]; then
     # wall/RSS deltas read as improvements — the gate here is that the
     # streaming + process-sharded path completes and stays bit-identical).
     BENCH_SET=(fleet_scale engine autoscale policy_mix obs_overhead chaos
-               fleet_huge)
+               frontier fleet_huge)
     rm -rf "$BUILD_DIR/bench-report"
     mkdir -p "$BUILD_DIR/bench-report"
+    # JANUS_FRONTIER_OUT: bench_frontier drops its per-policy
+    # frontier_<family>.{json,csv} artifacts next to the BENCH_*.json so
+    # hosted CI uploads the full frontier, not just the knee gate lines.
     JANUS_HUGE_TENANTS="${JANUS_HUGE_TENANTS:-4000}" \
+      JANUS_FRONTIER_OUT="$BUILD_DIR/bench-report" \
       "$BUILD_DIR/bench/bench_main" --outdir "$BUILD_DIR/bench-report" \
       "${BENCH_SET[@]}"
     tools/compare_bench.py --fresh "$BUILD_DIR/bench-report" \

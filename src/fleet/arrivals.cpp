@@ -45,6 +45,26 @@ double ArrivalSpec::mean_rate() const {
   return rate;
 }
 
+ArrivalSpec scale_arrivals(const ArrivalSpec& spec, double factor) {
+  require(factor > 0.0 && std::isfinite(factor),
+          "arrival scale factor must be finite and > 0");
+  ArrivalSpec out = spec;
+  switch (spec.kind) {
+    case ArrivalKind::Poisson:
+    case ArrivalKind::Diurnal:
+      out.rate = spec.rate * factor;
+      break;
+    case ArrivalKind::Mmpp:
+      out.rate = spec.rate * factor;
+      out.burst_rate = spec.burst_rate * factor;
+      break;
+    case ArrivalKind::Trace:
+      for (Seconds& gap : out.trace_gaps) gap /= factor;
+      break;
+  }
+  return out;
+}
+
 namespace {
 
 void validate_common(const ArrivalSpec& spec) {

@@ -94,4 +94,21 @@ class ArrivalProcess {
 /// Builds the process described by `spec` (validates the spec).
 std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec);
 
+/// Returns `spec` with its long-run offered rate scaled by `factor` (> 0)
+/// and its *shape* untouched — the frontier explorer's one knob:
+///
+///   * Poisson/Diurnal: rate is multiplied (period and amplitude stay).
+///   * MMPP: both state rates are multiplied; the dwell times stay, so the
+///     burst structure keeps its footprint on the absolute time axis and
+///     mean_rate() scales exactly (it is a dwell-weighted average of the
+///     two rates).
+///   * Trace: every inter-arrival gap is divided by `factor`.
+///   * Flash windows pass through unchanged: the multiplier composes with
+///     the warp, exactly as flash_k composes with every base kind.
+///
+/// mean_rate() scales by `factor` up to FP rounding for every kind; with a
+/// power-of-two factor the per-gap scaling is IEEE-exact, which is what
+/// the frontier determinism tests pin.
+ArrivalSpec scale_arrivals(const ArrivalSpec& spec, double factor);
+
 }  // namespace janus

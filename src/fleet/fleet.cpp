@@ -328,6 +328,7 @@ FleetSliceOutcome execute_slice(const FleetConfig& config, FleetPlan& plan,
       acc.counters.merge(wave.counters);
       acc.events_executed += wave.events_executed;
       acc.peak_pending = std::max(acc.peak_pending, wave.peak_pending);
+      acc.sim_end_s = std::max(acc.sim_end_s, wave.sim_end_s);
       // Control summary and epoch log are wave-invariant on the static
       // path (epochs = 0, plan-time packing); keep the first wave's.
     }
@@ -635,6 +636,9 @@ FleetSliceOutcome execute_slice(const FleetConfig& config, FleetPlan& plan,
   for (std::size_t s = 0; s < shards; ++s) {
     out.events_executed += engines[s]->executed();
     out.peak_pending = std::max(out.peak_pending, engine_obs[s].peak_pending);
+    // Makespan: per-tenant event times are grouping-independent, so the
+    // max over engines is the same number at any shard layout.
+    out.sim_end_s = std::max(out.sim_end_s, engines[s]->last_event_s());
   }
   out.epochs = control.epochs_run();
   out.final_nodes = control.cluster().nodes();
@@ -792,6 +796,7 @@ std::string FleetResult::to_json() const {
      << ", \"mean_cpu_mc\": " << fmt_double(fleet_mean_cpu_mc)
      << ", \"p50_e2e_s\": " << fmt_double(fleet_p50)
      << ", \"p99_e2e_s\": " << fmt_double(fleet_p99)
+     << ", \"sim_end_s\": " << fmt_double(sim_end_s)
      << ", \"cluster_utilization\": " << fmt_double(cluster_utilization)
      << ", \"overcommitted_pods\": " << overcommitted_pods << "},\n"
      << "  \"control\": {\"epochs\": " << epochs
@@ -935,6 +940,7 @@ FleetResult merge_fleet_slices(const FleetConfig& config,
     out.obs.events_executed += slice.events_executed;
     out.obs.peak_pending =
         std::max(out.obs.peak_pending, slice.peak_pending);
+    out.sim_end_s = std::max(out.sim_end_s, slice.sim_end_s);
   }
   // Timeline rows arrive slice by slice but the artifact's canonical order
   // is (epoch, tenant, stage); a stable sort restores it — and is the

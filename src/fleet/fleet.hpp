@@ -177,6 +177,10 @@ struct FleetResult {
   double fleet_mean_cpu_mc = 0.0;
   double fleet_p50 = 0.0;
   double fleet_p99 = 0.0;
+  /// Simulated time of the fleet's last executed event (the makespan).
+  /// Deterministic and shard/process-independent, unlike wall_seconds —
+  /// achieved throughput is total_requests / sim_end_s.
+  Seconds sim_end_s = 0.0;
   double cluster_utilization = 0.0;
   int overcommitted_pods = 0;
   int shards = 0;

@@ -1,0 +1,108 @@
+// Latency–throughput frontier explorer.
+//
+// The paper's evaluation reports point latencies at fixed offered loads;
+// the question an operator actually asks is "how many req/s can this
+// (workload, policy, autoscale/chaos) configuration sustain before the
+// SLO breaks?"  explore_frontier answers it by sweeping offered load:
+// every operating point copies the template fleet, rescales each tenant's
+// arrival process (scale_arrivals — shape-preserving, flash windows
+// compose) so the fleet's total mean rate equals the point's, runs the
+// full simulation, and records {offered req/s, achieved req/s, SLO-met
+// fraction, P50/P99/P999, peak_pending, peak RSS}.
+//
+// The search borrows mutated's stepped-load idiom (step_size/step_stop):
+// a coarse ramp in step_rps increments brackets the knee — the first
+// point that misses the SLO-met target — then a fixed-iteration-budget
+// bisection pins the max sustainable load inside the bracket.  The whole
+// schedule is a pure function of (seed, config): no adaptive stopping on
+// measured noise, no wall-clock input, so the knee is bit-identical at
+// any shard count, any process count, and across reruns — which is what
+// lets bench_frontier gate it in CI as "the knee moved left", a far
+// sharper regression signal than wall time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace janus {
+
+struct FrontierConfig {
+  /// Template fleet.  Every operating point copies it verbatim — tenants,
+  /// policies, epochs, autoscale, chaos — and only rescales the tenants'
+  /// arrival specs so the fleet's summed mean rate equals the point's
+  /// offered load.
+  FleetConfig fleet;
+  /// Fraction of requests that must meet their SLO for a point to count
+  /// as sustained (SLO-met = 1 - fleet violation rate).  In (0, 1].
+  double slo_target = 0.95;
+  /// Ramp increment and ceiling in fleet req/s (mutated's
+  /// step_size/step_stop): points step_rps, 2*step_rps, ... are run until
+  /// the first one misses the target or stop_rps is passed.
+  double step_rps = 0.0;  // required > 0
+  double stop_rps = 0.0;  // required >= step_rps
+  /// Bisection iterations inside the bracketed step.  Fixed budget — the
+  /// knee's resolution is step_rps / 2^bisect_iters, and the point
+  /// schedule never depends on measured values beyond the pass/fail bit.
+  int bisect_iters = 6;
+};
+
+enum class FrontierPhase { Ramp, Bisect };
+const char* to_string(FrontierPhase phase) noexcept;
+
+/// One operating point of the sweep, in run order.
+struct FrontierPoint {
+  FrontierPhase phase = FrontierPhase::Ramp;
+  /// Offered fleet load (Σ tenant mean rates after scaling), req/s.
+  double offered_rps = 0.0;
+  /// Completed requests / sim_end_s (the simulated makespan), req/s.
+  double achieved_rps = 0.0;
+  /// Fraction of requests inside their SLO (1 - fleet violation rate).
+  double slo_met = 0.0;
+  /// slo_met >= the config's slo_target.
+  bool sustained = false;
+  Seconds p50_s = 0.0;
+  Seconds p99_s = 0.0;
+  Seconds p999_s = 0.0;
+  Seconds sim_end_s = 0.0;
+  // ---- Machine/layout-dependent (reporting only, never compared
+  // bit-for-bit — the FleetObs carve-outs).
+  std::uint64_t peak_pending = 0;
+  long peak_rss_kb = 0;
+};
+
+struct FrontierResult {
+  double slo_target = 0.0;
+  /// The template fleet's own offered load (Σ tenant mean rates) — the
+  /// reference every point's scale factor is computed against.
+  double base_rps = 0.0;
+  /// Every operating point in run order: the ramp first, then bisection.
+  std::vector<FrontierPoint> points;
+  /// Max offered load that sustained the target — the knee.  0 with
+  /// censored_low.
+  double knee_rps = 0.0;
+  /// Index into `points` of the knee's run (-1 with censored_low).
+  int knee_index = -1;
+  /// Even the first ramp step missed the target after the bisection
+  /// budget: the knee sits below step_rps / 2^bisect_iters.
+  bool censored_low = false;
+  /// Every ramp point sustained the target: the knee sits at or beyond
+  /// stop_rps — rerun with a higher ceiling.
+  bool censored_high = false;
+
+  /// Stable machine-readable renderings (the CLI's --json-out/--csv-out
+  /// frontier artifacts; both deterministic except the peak_pending and
+  /// peak_rss_kb reporting columns).
+  std::string to_json() const;
+  std::string to_csv() const;
+};
+
+/// Runs the sweep.  Deterministic for a fixed (config minus shards minus
+/// processes): the point schedule depends only on step/stop/bisect_iters
+/// and each point's pass/fail bit, and every point is a run_fleet call —
+/// bit-identical at any shard and process count.
+FrontierResult explore_frontier(const FrontierConfig& config);
+
+}  // namespace janus

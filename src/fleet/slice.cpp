@@ -26,6 +26,7 @@ std::vector<std::uint8_t> encode_slice(const FleetSliceOutcome& s) {
     codec::encode(w, t.e2e);
     codec::encode(w, t.e2e_hist);
   }
+  w.f64(s.sim_end_s);
   codec::encode(w, s.counters);
   codec::encode(w, s.spans);
   codec::encode(w, s.timeline);
@@ -66,6 +67,7 @@ FleetSliceOutcome decode_slice(const std::uint8_t* data, std::size_t size) {
     t.e2e_hist = codec::decode_histogram(r);
     s.tenants.push_back(std::move(t));
   }
+  s.sim_end_s = r.f64();
   s.counters = codec::decode_obs_counters(r);
   s.spans = codec::decode_spans(r);
   s.timeline = codec::decode_timeline(r);

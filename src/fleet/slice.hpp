@@ -60,6 +60,12 @@ struct FleetSliceOutcome {
   /// Per-tenant folds, hi - lo entries; empty when `stream`.
   std::vector<TenantFold> tenants;
 
+  /// Simulated time of the slice's last executed event — the makespan the
+  /// frontier's achieved-rps accounting divides by.  Each tenant's event
+  /// times are independent of engine grouping, so the fleet-wide max is
+  /// bit-identical at any shard/process/wave layout (unlike peak_pending).
+  Seconds sim_end_s = 0.0;
+
   ObsCounters counters;
   std::vector<SpanRecord> spans;        // slice tenants, tenant order
   std::vector<TimelineRow> timeline;    // slice tenants, (epoch, t, s) order

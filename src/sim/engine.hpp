@@ -60,6 +60,12 @@ class SimEngine {
 
   Seconds now() const noexcept { return now_; }
 
+  /// Time of the most recently executed event (0.0 before any ran).
+  /// Unlike now(), run_until's boundary clamp never advances it, so after
+  /// a drain-to-infinity run it still reads the true makespan — what the
+  /// fleet reports as sim_end_s for achieved-throughput accounting.
+  Seconds last_event_s() const noexcept { return last_event_; }
+
   /// Schedules `fn` at absolute simulated time `t`.  A `t` earlier than
   /// now() is clamped to now(): the event fires "as soon as possible",
   /// after any already-queued events at now() (insertion order still
@@ -121,6 +127,7 @@ class SimEngine {
     current_.pop_back();
     --size_;
     now_ = node.time;
+    last_event_ = node.time;
     ++executed_;
 #if defined(__GNUC__) || defined(__clang__)
     // Overlap the next closure's (possibly cold) slot fetch with this
@@ -252,6 +259,7 @@ class SimEngine {
   std::vector<std::uint32_t> free_slots_;
 
   Seconds now_ = 0.0;
+  Seconds last_event_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t size_ = 0;

@@ -37,7 +37,8 @@
 namespace janus::codec {
 
 inline constexpr std::uint32_t kMagic = 0x4a4e5343u;  // "JNSC"
-inline constexpr std::uint16_t kCodecVersion = 1;
+// v2: FleetSliceOutcome gained sim_end_s (frontier achieved-rps makespan).
+inline constexpr std::uint16_t kCodecVersion = 2;
 
 /// Append-only little-endian byte sink.
 class ByteWriter {

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Unit tests for tools/compare_bench.py — the CI wall-time/RSS gate.
+"""Unit tests for tools/compare_bench.py — the CI wall/RSS/frontier gate.
 
 The gate itself must be tested: a comparison script that silently stops
 failing is a CI pipeline that silently stops gating.  Covers the warn
 threshold (>20%), the fatal threshold (>35% with --fatal-pct), failed
-runs, the --require guard for benchmarks missing from the fresh set, and
+runs, the --require guard for benchmarks missing from the fresh set,
 the peak_rss_kb memory gate (including baselines recorded before the
-field existed).
+field existed), and the sustainable-rps gate over `sustainable_rps_*:`
+stdout lines (inverted direction: a knee moving left is the regression).
 
 Run directly (python3 tests/test_compare_bench.py) or via CTest.
 """
@@ -22,15 +23,22 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCRIPT = os.path.join(REPO, "tools", "compare_bench.py")
 
 
-def write_bench(directory, stem, wall_seconds, status="ok", rss_kb=None):
+def write_bench(directory, stem, wall_seconds, status="ok", rss_kb=None,
+                stdout=""):
     path = os.path.join(directory, f"BENCH_{stem}.json")
     record = {"bench": f"bench_{stem}", "status": status,
               "exit_code": 0 if status == "ok" else 1,
-              "wall_seconds": wall_seconds, "stdout": ""}
+              "wall_seconds": wall_seconds, "stdout": stdout}
     if rss_kb is not None:
         record["peak_rss_kb"] = rss_kb
     with open(path, "w") as f:
         json.dump(record, f)
+
+
+def rps_stdout(**knees):
+    """bench_frontier-style trailing gate lines."""
+    return "".join(f"sustainable_rps_{key}: {value:g}\n"
+                   for key, value in knees.items())
 
 
 def run_compare(base, fresh, *extra):
@@ -185,6 +193,75 @@ class CompareBenchTest(unittest.TestCase):
         code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
         self.assertEqual(code, 0, out)
         self.assertNotIn("REGRESSION", out)
+
+    def test_sustainable_rps_drop_past_fatal_pct_fails_and_names_keys(self):
+        # Flat wall, but the janus-family knee moved left by 50%: the
+        # frontier gate trips, the row names the metric, and the detail
+        # line names the family that regressed.
+        write_bench(self.base, "frontier", 1.0,
+                    stdout=rps_stdout(janus=25.625, orion=29.375))
+        write_bench(self.fresh, "frontier", 1.0,
+                    stdout=rps_stdout(janus=12.8, orion=29.375))
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FATAL REGRESSION (sustainable-rps >35%)", out)
+        self.assertIn("sustainable-rps janus: 25.625 -> 12.8", out)
+        self.assertNotIn("sustainable-rps orion", out)
+
+    def test_sustainable_rps_small_drop_warns_only(self):
+        write_bench(self.base, "frontier", 1.0, stdout=rps_stdout(mix=100.0))
+        write_bench(self.fresh, "frontier", 1.0, stdout=rps_stdout(mix=75.0))
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)  # -25% is warn band, not fatal
+        self.assertIn("REGRESSION (sustainable-rps >20%)", out)
+        self.assertNotIn("FATAL", out)
+
+    def test_sustainable_rps_increase_is_not_a_regression(self):
+        # The direction is inverted vs wall/rss: a knee moving RIGHT is
+        # strictly good and must never flag.
+        write_bench(self.base, "frontier", 1.0, stdout=rps_stdout(mix=50.0))
+        write_bench(self.fresh, "frontier", 1.0, stdout=rps_stdout(mix=100.0))
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_sustainable_rps_zero_baseline_knee_is_skipped(self):
+        # A censored baseline frontier (knee 0, e.g. mean_based) cannot
+        # scale a percentage; the key is skipped rather than dividing by
+        # zero, and a knee appearing fresh is not a regression.
+        write_bench(self.base, "frontier", 1.0,
+                    stdout=rps_stdout(mean_based=0.0, janus=25.625))
+        write_bench(self.fresh, "frontier", 1.0,
+                    stdout=rps_stdout(mean_based=10.0, janus=25.625))
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_sustainable_rps_absent_from_baseline_is_skipped(self):
+        # Baselines recorded before a bench emitted the gate lines (or
+        # benches that never emit them) skip the frontier comparison.
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.0, stdout=rps_stdout(mix=5.0))
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_fatal_summary_names_the_tripping_metric(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.5)  # wall +50%
+        write_bench(self.base, "frontier", 1.0, stdout=rps_stdout(mix=100.0))
+        write_bench(self.fresh, "frontier", 1.0, stdout=rps_stdout(mix=10.0))
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("engine [wall]", out)
+        self.assertIn("frontier [sustainable-rps]", out)
+
+    def test_fatal_summary_names_failed_runs(self):
+        write_bench(self.base, "engine", 1.0)
+        write_bench(self.fresh, "engine", 1.0, status="fail")
+        code, out = run_compare(self.base, self.fresh, "--fatal-pct", "35")
+        self.assertEqual(code, 1, out)
+        self.assertIn("engine [failed run]", out)
 
     def test_unreadable_fresh_json_is_skipped_not_crashed(self):
         write_bench(self.base, "engine", 1.0)

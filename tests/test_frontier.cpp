@@ -1,0 +1,327 @@
+// Tests for src/fleet/frontier: the latency–throughput frontier explorer
+// and its one knob, scale_arrivals.  Pins the exact-scaling contract
+// (power-of-two factors leave Poisson arrival times and trace gaps
+// bitwise-halved; mean_rate scales for every kind), the ramp/bisection
+// search shape (monotone offered loads, all-sustained-then-failed ramp,
+// knee inside the bracket), SLO-met behavior along a widely spaced ramp,
+// and the determinism contract: the knee and every deterministic
+// operating-point column are bit-identical across shard counts {1, 2, 4}
+// and across reruns.  Runs under TSan in ci/verify.sh — the sweep drives
+// the sharded thread pool for real.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/arrivals.hpp"
+#include "fleet/frontier.hpp"
+
+namespace janus {
+namespace {
+
+// Fast catalog: frontier points re-run the whole fleet, so the suite
+// trades profile resolution for wall time (the policy comparison lives
+// in bench_frontier, not here).
+PolicyCatalogConfig fast_catalog_config() {
+  PolicyCatalogConfig config;
+  config.profile_samples = 300;
+  config.budget_step = 10;
+  return config;
+}
+
+FrontierConfig fast_frontier_config(PolicyCatalog& catalog, int shards) {
+  FrontierConfig config;
+  config.fleet.tenants = make_tenant_mix(4, 200, /*base_rate=*/10.0,
+                                         ArrivalKind::Poisson,
+                                         /*mixed_kinds=*/true);
+  config.fleet.shards = shards;
+  config.fleet.seed = 77;
+  config.fleet.cluster.nodes = 8;
+  config.fleet.catalog = &catalog;
+  config.slo_target = 0.9;
+  config.step_rps = 15.0;
+  config.stop_rps = 120.0;
+  config.bisect_iters = 3;
+  return config;
+}
+
+std::vector<Seconds> arrival_prefix(const ArrivalSpec& spec, int n,
+                                    std::uint64_t seed) {
+  auto process = make_arrivals(spec);
+  Rng rng(seed);
+  std::vector<Seconds> times;
+  Seconds now = 0.0;
+  for (int i = 0; i < n; ++i) {
+    now = process->next(now, rng);
+    times.push_back(now);
+  }
+  return times;
+}
+
+// ---------------------------------------------------------- scaling -----
+TEST(ScaleArrivals, PoissonPrefixIsBitwiseHalvedAtFactorTwo) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::Poisson;
+  spec.rate = 8.0;
+  const ArrivalSpec scaled = scale_arrivals(spec, 2.0);
+  EXPECT_EQ(scaled.rate, 16.0);
+
+  // Same seed, same draw sequence; doubling a Poisson rate divides every
+  // exponential gap by exactly 2, and halving is exact in IEEE double, so
+  // each absolute arrival time is bitwise t/2.
+  const std::vector<Seconds> base = arrival_prefix(spec, 64, 7);
+  const std::vector<Seconds> fast = arrival_prefix(scaled, 64, 7);
+  ASSERT_EQ(base.size(), fast.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(fast[i], base[i] / 2.0) << "arrival " << i;
+  }
+}
+
+TEST(ScaleArrivals, TraceGapsAreBitwiseDividedAndReplayExactly) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::Trace;
+  spec.trace_gaps = {0.125, 0.5, 0.0625, 1.75, 0.3};
+  const ArrivalSpec scaled = scale_arrivals(spec, 4.0);
+  ASSERT_EQ(scaled.trace_gaps.size(), spec.trace_gaps.size());
+  for (std::size_t i = 0; i < spec.trace_gaps.size(); ++i) {
+    EXPECT_EQ(scaled.trace_gaps[i], spec.trace_gaps[i] / 4.0) << "gap " << i;
+  }
+  // Replay consumes no randomness: the scaled process's arrival times are
+  // the base times divided by the factor, bitwise, across the loop point.
+  const std::vector<Seconds> base = arrival_prefix(spec, 12, 1);
+  const std::vector<Seconds> fast = arrival_prefix(scaled, 12, 1);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(fast[i], base[i] / 4.0) << "arrival " << i;
+  }
+}
+
+TEST(ScaleArrivals, MeanRateScalesForEveryKind) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal,
+        ArrivalKind::Trace}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate = 6.0;
+    if (kind == ArrivalKind::Trace) spec.trace_gaps = {0.25, 0.1, 0.4, 0.05};
+    const double base = spec.mean_rate();
+    ASSERT_GT(base, 0.0);
+    // Power-of-two factors are exact; an odd factor stays within FP
+    // rounding of the ideal scaling.
+    EXPECT_EQ(scale_arrivals(spec, 2.0).mean_rate(), 2.0 * base)
+        << to_string(kind);
+    EXPECT_NEAR(scale_arrivals(spec, 1.7).mean_rate(), 1.7 * base,
+                1e-9 * base)
+        << to_string(kind);
+  }
+}
+
+TEST(ScaleArrivals, MmppKeepsDwellStructure) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::Mmpp;
+  spec.rate = 5.0;
+  spec.burst_rate = 40.0;
+  const ArrivalSpec scaled = scale_arrivals(spec, 2.0);
+  EXPECT_EQ(scaled.rate, 10.0);
+  EXPECT_EQ(scaled.burst_rate, 80.0);
+  // Dwells stay: the burst footprint keeps its place on the absolute
+  // time axis, which is what makes mean_rate (dwell-weighted) scale.
+  EXPECT_EQ(scaled.base_dwell_s, spec.base_dwell_s);
+  EXPECT_EQ(scaled.burst_dwell_s, spec.burst_dwell_s);
+}
+
+TEST(ScaleArrivals, FlashWindowPassesThrough) {
+  ArrivalSpec spec;
+  spec.flash_k = 4.0;
+  spec.flash_t0_s = 10.0;
+  spec.flash_t1_s = 20.0;
+  const ArrivalSpec scaled = scale_arrivals(spec, 2.0);
+  EXPECT_EQ(scaled.flash_k, 4.0);
+  EXPECT_EQ(scaled.flash_t0_s, 10.0);
+  EXPECT_EQ(scaled.flash_t1_s, 20.0);
+}
+
+TEST(ScaleArrivals, RejectsNonPositiveOrNonFiniteFactors) {
+  const ArrivalSpec spec;
+  EXPECT_THROW(scale_arrivals(spec, 0.0), std::invalid_argument);
+  EXPECT_THROW(scale_arrivals(spec, -1.0), std::invalid_argument);
+  EXPECT_THROW(scale_arrivals(spec, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(scale_arrivals(spec, HUGE_VAL), std::invalid_argument);
+}
+
+// ------------------------------------------------------ search shape ----
+TEST(Frontier, ValidatesConfig) {
+  PolicyCatalog catalog(fast_catalog_config());
+  FrontierConfig config = fast_frontier_config(catalog, 1);
+  config.step_rps = 0.0;
+  EXPECT_THROW(explore_frontier(config), std::invalid_argument);
+  config = fast_frontier_config(catalog, 1);
+  config.stop_rps = config.step_rps / 2.0;
+  EXPECT_THROW(explore_frontier(config), std::invalid_argument);
+  config = fast_frontier_config(catalog, 1);
+  config.slo_target = 0.0;
+  EXPECT_THROW(explore_frontier(config), std::invalid_argument);
+  config = fast_frontier_config(catalog, 1);
+  config.slo_target = 1.5;
+  EXPECT_THROW(explore_frontier(config), std::invalid_argument);
+  config = fast_frontier_config(catalog, 1);
+  config.bisect_iters = -1;
+  EXPECT_THROW(explore_frontier(config), std::invalid_argument);
+  config = fast_frontier_config(catalog, 1);
+  config.fleet.tenants.clear();
+  EXPECT_THROW(explore_frontier(config), std::invalid_argument);
+}
+
+TEST(Frontier, RampBracketsAndBisectionPinsTheKnee) {
+  PolicyCatalog catalog(fast_catalog_config());
+  const FrontierConfig config = fast_frontier_config(catalog, 2);
+  const FrontierResult result = explore_frontier(config);
+
+  ASSERT_FALSE(result.points.empty());
+  EXPECT_EQ(result.slo_target, config.slo_target);
+  EXPECT_GT(result.base_rps, 0.0);
+
+  // Ramp points come first at step_rps * i, all sustained until the one
+  // failure that opens the bracket; bisection points stay inside it.
+  double bracket_lo = 0.0, bracket_hi = 0.0;
+  std::size_t i = 0;
+  for (; i < result.points.size() &&
+         result.points[i].phase == FrontierPhase::Ramp;
+       ++i) {
+    const FrontierPoint& point = result.points[i];
+    EXPECT_EQ(point.offered_rps,
+              config.step_rps * static_cast<double>(i + 1));
+    EXPECT_EQ(point.sustained, point.slo_met >= config.slo_target);
+    if (point.sustained) {
+      EXPECT_EQ(bracket_hi, 0.0) << "sustained ramp point after a failure";
+      bracket_lo = point.offered_rps;
+    } else {
+      bracket_hi = point.offered_rps;
+    }
+    // Every executed point carries a real run's outputs.
+    EXPECT_GT(point.sim_end_s, 0.0);
+    EXPECT_GT(point.achieved_rps, 0.0);
+    EXPECT_LE(point.p50_s, point.p99_s);
+    EXPECT_LE(point.p99_s, point.p999_s);
+  }
+  ASSERT_GT(bracket_hi, 0.0) << "ramp never failed; raise stop_rps";
+  EXPECT_FALSE(result.censored_high);
+
+  for (; i < result.points.size(); ++i) {
+    EXPECT_EQ(result.points[i].phase, FrontierPhase::Bisect);
+    EXPECT_GT(result.points[i].offered_rps, bracket_lo);
+    EXPECT_LT(result.points[i].offered_rps, bracket_hi);
+  }
+
+  // The knee is the best sustained point, inside [bracket_lo, bracket_hi).
+  EXPECT_FALSE(result.censored_low);
+  EXPECT_GE(result.knee_rps, bracket_lo);
+  EXPECT_LT(result.knee_rps, bracket_hi);
+  ASSERT_GE(result.knee_index, 0);
+  const FrontierPoint& knee =
+      result.points[static_cast<std::size_t>(result.knee_index)];
+  EXPECT_TRUE(knee.sustained);
+  EXPECT_EQ(knee.offered_rps, result.knee_rps);
+}
+
+TEST(Frontier, SloMetDegradesAlongAWidelySpacedRamp) {
+  // Over widely spaced loads the deterministic SLO-met fraction must not
+  // *improve* with offered load: each ramp point quadruples the previous
+  // one's rate, far beyond run-to-run wiggle.
+  PolicyCatalog catalog(fast_catalog_config());
+  FrontierConfig config = fast_frontier_config(catalog, 2);
+  config.bisect_iters = 0;
+  std::vector<double> met;
+  for (const double rps : {10.0, 40.0, 160.0}) {
+    config.step_rps = rps;
+    config.stop_rps = rps;  // one-point ramp per load
+    const FrontierResult result = explore_frontier(config);
+    ASSERT_EQ(result.points.size(), 1u);
+    met.push_back(result.points[0].slo_met);
+  }
+  EXPECT_GE(met[0], met[1]);
+  EXPECT_GE(met[1], met[2]);
+  EXPECT_GT(met[0], met[2]) << "load had no effect at all";
+}
+
+TEST(Frontier, CensoredHighWhenTheCeilingIsBelowTheKnee) {
+  PolicyCatalog catalog(fast_catalog_config());
+  FrontierConfig config = fast_frontier_config(catalog, 1);
+  config.step_rps = 1.0;
+  config.stop_rps = 2.0;  // both points far below the knee
+  const FrontierResult result = explore_frontier(config);
+  EXPECT_TRUE(result.censored_high);
+  EXPECT_FALSE(result.censored_low);
+  EXPECT_EQ(result.knee_rps, 2.0);  // best sustained = last ramp point
+  for (const FrontierPoint& point : result.points) {
+    EXPECT_EQ(point.phase, FrontierPhase::Ramp);
+    EXPECT_TRUE(point.sustained);
+  }
+}
+
+// -------------------------------------------------------- determinism ---
+bool deterministic_columns_equal(const FrontierResult& a,
+                                 const FrontierResult& b) {
+  if (a.knee_rps != b.knee_rps || a.knee_index != b.knee_index ||
+      a.censored_low != b.censored_low ||
+      a.censored_high != b.censored_high ||
+      a.base_rps != b.base_rps || a.points.size() != b.points.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const FrontierPoint& x = a.points[i];
+    const FrontierPoint& y = b.points[i];
+    // peak_pending / peak_rss_kb are the documented machine/layout-
+    // dependent carve-outs.
+    if (x.phase != y.phase || x.offered_rps != y.offered_rps ||
+        x.achieved_rps != y.achieved_rps || x.slo_met != y.slo_met ||
+        x.sustained != y.sustained || x.p50_s != y.p50_s ||
+        x.p99_s != y.p99_s || x.p999_s != y.p999_s ||
+        x.sim_end_s != y.sim_end_s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Frontier, KneeIsBitIdenticalAcrossShardCountsAndReruns) {
+  PolicyCatalog catalog(fast_catalog_config());
+  const FrontierResult reference =
+      explore_frontier(fast_frontier_config(catalog, 1));
+  ASSERT_FALSE(reference.censored_low);
+  ASSERT_FALSE(reference.censored_high);
+  for (const int shards : {2, 4}) {
+    const FrontierResult sharded =
+        explore_frontier(fast_frontier_config(catalog, shards));
+    EXPECT_TRUE(deterministic_columns_equal(reference, sharded))
+        << "shards=" << shards;
+  }
+  const FrontierResult rerun =
+      explore_frontier(fast_frontier_config(catalog, 1));
+  EXPECT_TRUE(deterministic_columns_equal(reference, rerun)) << "rerun";
+}
+
+// ---------------------------------------------------------- artifacts ---
+TEST(Frontier, ArtifactsCarryEveryPointAndTheKnee) {
+  PolicyCatalog catalog(fast_catalog_config());
+  const FrontierResult result =
+      explore_frontier(fast_frontier_config(catalog, 1));
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"knee\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo_target\""), std::string::npos);
+
+  const std::string csv = result.to_csv();
+  EXPECT_EQ(csv.rfind("phase,offered_rps,achieved_rps,slo_met,sustained,",
+                      0),
+            0u);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, result.points.size() + 1);  // header + one per point
+}
+
+}  // namespace
+}  // namespace janus

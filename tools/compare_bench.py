@@ -1,11 +1,21 @@
 #!/usr/bin/env python3
 """Diff fresh BENCH_*.json artifacts against the committed baselines.
 
-Compares wall_seconds AND peak_rss_kb for every benchmark present in BOTH
-directories and flags regressions beyond the threshold (default 20%
-slower / 20% more resident memory).  Baselines recorded before peak_rss_kb
-existed (or with a zero reading) skip the memory comparison.  Exit code is
-0 unless either fatal gate trips:
+Compares wall_seconds, peak_rss_kb, AND sustainable-rps for every
+benchmark present in BOTH directories and flags regressions beyond the
+threshold (default 20% slower / 20% more resident memory / 20% less
+sustainable throughput).  Baselines recorded before peak_rss_kb existed
+(or with a zero reading) skip the memory comparison.
+
+sustainable-rps comes from `sustainable_rps_<key>: N` lines a benchmark
+prints on stdout (bench_frontier's per-policy-family knees); lower is
+worse — the gate trips when a fresh knee moved LEFT of the baseline's by
+more than the threshold, and the report names each key that moved.  A
+zero baseline knee (a censored frontier) skips the percentage for that
+key.  Every report line names the metric(s) that tripped it (wall vs rss
+vs sustainable-rps), as does the fatal summary.
+
+Exit code is 0 unless either fatal gate trips:
 
   * --fatal: any regression past --threshold (or a failed run) exits 1;
   * --fatal-pct PCT: only regressions past PCT (or failed runs) exit 1,
@@ -31,6 +41,20 @@ import argparse
 import json
 import os
 import sys
+
+
+def sustainable_rps(record):
+    """Parse `sustainable_rps_<key>: N` lines from a record's stdout."""
+    out = {}
+    for line in record.get("stdout", "").splitlines():
+        key, sep, value = line.strip().partition(":")
+        if not sep or not key.startswith("sustainable_rps_"):
+            continue
+        try:
+            out[key[len("sustainable_rps_"):]] = float(value)
+        except ValueError:
+            pass
+    return out
 
 
 def load_dir(path):
@@ -105,27 +129,37 @@ def main():
         brss, frss = b.get("peak_rss_kb", 0), f.get("peak_rss_kb", 0)
         rss_delta = ((frss - brss) / brss * 100.0
                      if brss and frss else None)
+        # sustainable-rps is inverted: lower is worse.  The delta is the
+        # worst drop across the keys both runs report, expressed as a
+        # positive percentage so it gates through the same bands as wall
+        # and rss.  A zero baseline knee (censored frontier) can't scale a
+        # percentage and is skipped — a knee *appearing* is an improvement.
+        brps, frps = sustainable_rps(b), sustainable_rps(f)
+        rps_drops = sorted(
+            (key, (brps[key] - frps[key]) / brps[key] * 100.0)
+            for key in set(brps) & set(frps) if brps[key] > 0)
+        rps_delta = (max(d for _, d in rps_drops) if rps_drops else None)
         status = "ok"
         if f.get("status") != "ok":
             status = "FAILED RUN"
             regressions.append(name)
-            fatal.append(name)
+            fatal.append((name, "failed run"))
         else:
             # Checked before the warn threshold so a --fatal-pct below
             # --threshold still gates (the warn band is informational,
             # the fatal band is the contract).
-            fatal_metrics = [m for m, d in (("wall", delta),
-                                            ("rss", rss_delta))
+            metrics = (("wall", delta), ("rss", rss_delta),
+                       ("sustainable-rps", rps_delta))
+            fatal_metrics = [m for m, d in metrics
                              if args.fatal_pct is not None
                              and d is not None and d > args.fatal_pct]
-            warn_metrics = [m for m, d in (("wall", delta),
-                                           ("rss", rss_delta))
-                           if d is not None and d > args.threshold]
+            warn_metrics = [m for m, d in metrics
+                            if d is not None and d > args.threshold]
             if fatal_metrics:
                 status = (f"FATAL REGRESSION ({'+'.join(fatal_metrics)} "
                           f">{args.fatal_pct:.0f}%)")
                 regressions.append(name)
-                fatal.append(name)
+                fatal.append((name, "+".join(fatal_metrics)))
             elif warn_metrics:
                 status = (f"REGRESSION ({'+'.join(warn_metrics)} "
                           f">{args.threshold:.0f}%)")
@@ -136,6 +170,14 @@ def main():
         rss_col = f"{rss_delta:>+7.1f}%" if rss_delta is not None else "     n/a"
         print(f"{stem:<28} {bw:>9.3f} {fw:>9.3f} {delta:>+7.1f}% "
               f"{brss or 0:>9} {frss or 0:>9} {rss_col}  {status}")
+        # Name every knee that moved left past the warn band, so the log
+        # says *which* policy family regressed, not just "the bench did".
+        if rps_delta is not None and rps_delta > args.threshold:
+            for key, drop in rps_drops:
+                if drop > args.threshold:
+                    print(f"{'':<28}   sustainable-rps {key}: "
+                          f"{brps[key]:g} -> {frps[key]:g} req/s "
+                          f"({-drop:+.1f}%)")
 
     skipped = sorted(set(base) - set(fresh))
     if skipped:
@@ -154,7 +196,7 @@ def main():
         if fatal and args.fatal_pct is not None:
             print(f"compare_bench: {len(fatal)} past the fatal gate "
                   f"({args.fatal_pct:.0f}%): "
-                  f"{', '.join(n[6:-5] for n in fatal)}",
+                  f"{', '.join(f'{n[6:-5]} [{m}]' for n, m in fatal)}",
                   file=sys.stderr)
             return 1
     return 1 if missing_required else 0

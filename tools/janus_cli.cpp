@@ -34,6 +34,7 @@
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/frontier.hpp"
 #include "fleet/policies.hpp"
 #include "hints/generator.hpp"
 #include "model/trace_synth.hpp"
@@ -61,6 +62,7 @@ int usage(std::FILE* out = stderr) {
       "  janus_cli serve <ia|va> [requests] [slo-seconds] [--seed N] "
       "[--json]\n"
       "  janus_cli fleet [flags]\n"
+      "  janus_cli frontier --step R [flags]\n"
       "\n"
       "fleet flags (sharded multi-tenant simulation):\n"
       "  --tenants N     tenant count (default 8)\n"
@@ -146,6 +148,24 @@ int usage(std::FILE* out = stderr) {
       "                  bit-identical to an in-process run\n"
       "  --json          machine-readable result on stdout\n"
       "\n"
+      "frontier flags (latency-throughput frontier explorer; accepts the\n"
+      "fleet workload flags above — tenants/requests/shards/processes/\n"
+      "stream/conc/hints-dir/seed/rate/arrivals/trace/policy/\n"
+      "contention-alpha/nodes/node-mc/epoch-s/autoscale/chaos/chaos-seed/\n"
+      "flash — plus):\n"
+      "  --step R        ramp increment in fleet req/s (required > 0):\n"
+      "                  points R, 2R, ... run until the SLO-met target is\n"
+      "                  first missed, then bisection pins the knee\n"
+      "  --stop R        ramp ceiling in req/s (default 8x --step); every\n"
+      "                  point sustaining marks the knee censored-high\n"
+      "  --slo-target F  fraction of requests that must meet their SLO for\n"
+      "                  a point to count as sustained (default 0.95)\n"
+      "  --bisect N      bisection iterations inside the bracketed step\n"
+      "                  (default 6); knee resolution is step / 2^N\n"
+      "  --json-out P    write the frontier artifact (points + knee) as\n"
+      "                  JSON to P\n"
+      "  --csv-out P     write the per-point frontier table as CSV to P\n"
+      "\n"
       "global flags:\n"
       "  --log-level L   stderr diagnostics: debug|info|warn|error|off\n"
       "                  (default warn)\n"
@@ -188,6 +208,12 @@ struct Flags {
   std::string chaos;         // chaos family spec; empty = off
   std::uint64_t chaos_seed = 7;
   std::string flash;         // "T0:T1:K" window; empty = off
+  double slo_target = 0.95;  // frontier: sustained = SLO-met >= this
+  double step = 0.0;         // frontier ramp increment (required there)
+  double stop = 0.0;         // frontier ramp ceiling; 0 = 8 * step
+  int bisect = 6;            // frontier bisection iterations
+  std::string json_out;      // frontier JSON artifact path; empty = off
+  std::string csv_out;       // frontier CSV artifact path; empty = off
   std::string log_level;  // empty = leave the library default (warn)
   std::vector<std::string> seen;
 };
@@ -318,6 +344,24 @@ bool parse_flags(int argc, char** argv, int first, Flags& flags,
       flags.merge_slices.push_back(value("--merge-slices"));
     } else if (arg == "--rate") {
       flags.rate = parse_double(value("--rate"), "--rate");
+    } else if (arg == "--slo-target") {
+      flags.slo_target = parse_double(value("--slo-target"), "--slo-target");
+      if (flags.slo_target <= 0.0 || flags.slo_target > 1.0) {
+        throw_invalid("--slo-target expects a fraction in (0, 1]");
+      }
+    } else if (arg == "--step") {
+      flags.step = parse_double(value("--step"), "--step");
+      if (flags.step <= 0.0) throw_invalid("--step expects a number > 0");
+    } else if (arg == "--stop") {
+      flags.stop = parse_double(value("--stop"), "--stop");
+      if (flags.stop <= 0.0) throw_invalid("--stop expects a number > 0");
+    } else if (arg == "--bisect") {
+      flags.bisect = parse_int(value("--bisect"), "--bisect");
+      if (flags.bisect < 0) throw_invalid("--bisect expects an integer >= 0");
+    } else if (arg == "--json-out") {
+      flags.json_out = value("--json-out");
+    } else if (arg == "--csv-out") {
+      flags.csv_out = value("--csv-out");
     } else if (arg == "--arrivals") {
       flags.arrivals = value("--arrivals");
     } else if (arg.size() > 1 && arg[0] == '-' &&
@@ -582,7 +626,11 @@ std::vector<std::uint8_t> read_binary(const std::string& path) {
   return std::vector<std::uint8_t>(text.begin(), text.end());
 }
 
-int cmd_fleet(const Flags& flags) {
+/// Assembles the FleetConfig described by the shared workload flags —
+/// the one config-building path for `fleet` and `frontier`, so a tenant
+/// mix, policy deal, chaos spec, or flash window means the same thing to
+/// both commands.
+FleetConfig build_fleet_config(const Flags& flags) {
   FleetConfig config;
   const bool mixed = flags.arrivals == "mixed";
   ArrivalKind kind = ArrivalKind::Poisson;
@@ -722,6 +770,11 @@ int cmd_fleet(const Flags& flags) {
   config.obs.trace = !flags.trace_out.empty();
   config.obs.timeline = !flags.obs_timeline.empty();
   config.obs.sample_every = flags.obs_sample;
+  return config;
+}
+
+int cmd_fleet(const Flags& flags) {
+  const FleetConfig config = build_fleet_config(flags);
   if (!flags.shard_slice.empty() && !flags.merge_slices.empty()) {
     throw_invalid("--shard-slice (produce a blob) and --merge-slices "
                   "(consume blobs) are different modes; pick one");
@@ -820,6 +873,74 @@ int cmd_fleet(const Flags& flags) {
   return 0;
 }
 
+int cmd_frontier(const Flags& flags) {
+  if (flags.step <= 0.0) {
+    // Usage-class error (exit 2, one line), like an unknown policy: the
+    // command line is wrong, not the run.
+    std::fprintf(stderr,
+                 "janus_cli: frontier needs --step R (ramp increment in "
+                 "req/s)\n");
+    return 2;
+  }
+  FrontierConfig config;
+  config.fleet = build_fleet_config(flags);
+  config.slo_target = flags.slo_target;
+  config.step_rps = flags.step;
+  config.stop_rps = flags.stop > 0.0 ? flags.stop : 8.0 * flags.step;
+  config.bisect_iters = flags.bisect;
+
+  const FrontierResult result = explore_frontier(config);
+
+  // Artifacts first (confirmations on stderr), so --json keeps stdout as
+  // one machine-readable object.
+  const auto write_out = [](const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw_invalid("cannot open for write: " + path);
+    out << text;
+    std::fprintf(stderr, "janus_cli: wrote %s (%zu bytes)\n", path.c_str(),
+                 text.size());
+  };
+  if (!flags.json_out.empty()) write_out(flags.json_out, result.to_json());
+  if (!flags.csv_out.empty()) write_out(flags.csv_out, result.to_csv());
+
+  if (flags.json) {
+    std::printf("%s", result.to_json().c_str());
+    return 0;
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const FrontierPoint& p : result.points) {
+    rows.push_back({to_string(p.phase), fmt(p.offered_rps, 3),
+                    fmt(p.achieved_rps, 3),
+                    fmt(100.0 * p.slo_met, 2) + "%",
+                    p.sustained ? "yes" : "no", fmt(p.p50_s, 3),
+                    fmt(p.p99_s, 3), fmt(p.p999_s, 3)});
+  }
+  std::printf("%s",
+              render_table({"phase", "offered r/s", "achieved r/s",
+                            "SLO met", "sustained", "P50 (s)", "P99 (s)",
+                            "P999 (s)"},
+                           rows)
+                  .c_str());
+  if (result.censored_low) {
+    std::printf(
+        "frontier: no sustainable point found above %.6g req/s — the knee "
+        "sits below the search floor (lower --step or raise --bisect)\n",
+        result.knee_rps);
+  } else if (result.censored_high) {
+    std::printf(
+        "frontier: knee >= %.6g req/s (censored at --stop; raise it to "
+        "bracket the knee)\n",
+        result.knee_rps);
+  } else {
+    std::printf(
+        "frontier: knee at %.6g req/s under a %.4g%% SLO-met target "
+        "(%zu points, base load %.6g req/s)\n",
+        result.knee_rps, 100.0 * result.slo_target, result.points.size(),
+        result.base_rps);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -868,6 +989,20 @@ int main(int argc, char** argv) {
         return usage();
       }
       return cmd_fleet(flags);
+    }
+    if (cmd == "frontier" && pos.empty()) {
+      if (!flags_allowed(flags, {"--tenants", "--requests", "--shards",
+                                 "--processes", "--stream", "--conc",
+                                 "--hints-dir", "--seed", "--rate",
+                                 "--arrivals", "--trace", "--nodes",
+                                 "--node-mc", "--epoch-s", "--autoscale",
+                                 "--policy", "--contention-alpha", "--chaos",
+                                 "--chaos-seed", "--flash", "--slo-target",
+                                 "--step", "--stop", "--bisect", "--json",
+                                 "--json-out", "--csv-out", "--log-level"})) {
+        return usage();
+      }
+      return cmd_frontier(flags);
     }
   } catch (const UnknownPolicyError& e) {
     std::fprintf(stderr, "%s\n", e.what());
